@@ -1,0 +1,164 @@
+//! Per-state combinational-loop detection (paper Def. 3.2(4)).
+//!
+//! "The subgraph that belongs to a control state should not include a
+//! combinatorial loop." For each control state we build the active
+//! dependency graph — its controlled arcs plus the intra-vertex edges from
+//! input ports to *combinatorial* output ports — and look for a cycle.
+//! Sequential vertices (registers) break cycles, which is why accumulator
+//! feedback `r → add → r` is legal.
+
+use etpn_core::{Etpn, PlaceId, PortId};
+use std::collections::HashMap;
+
+/// A combinational cycle found in one control state's subgraph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CombLoop {
+    /// The offending control state.
+    pub place: PlaceId,
+    /// Ports on the cycle, in traversal order.
+    pub cycle: Vec<PortId>,
+}
+
+/// Find a combinational loop in the subgraph of `s`, if any.
+pub fn find_comb_loop(g: &Etpn, s: PlaceId) -> Option<CombLoop> {
+    // Adjacency restricted to this state's active ports.
+    let mut succ: HashMap<PortId, Vec<PortId>> = HashMap::new();
+    for &a in g.ctl.ctrl(s) {
+        let arc = g.dp.arc(a);
+        succ.entry(arc.from).or_default().push(arc.to);
+        // Input port feeds the combinatorial outputs that read it.
+        let vx = g.dp.vertex(g.dp.port(arc.to).vertex);
+        for &op_port in &vx.outputs {
+            let op = g.dp.port(op_port).operation();
+            if op.is_combinatorial() {
+                let reads = vx.inputs.iter().take(op.arity()).any(|&ip| ip == arc.to);
+                if reads {
+                    succ.entry(arc.to).or_default().push(op_port);
+                }
+            }
+        }
+    }
+
+    // Iterative DFS with colouring; on a back edge, reconstruct the cycle.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: HashMap<PortId, Colour> = HashMap::new();
+    let nodes: Vec<PortId> = succ.keys().copied().collect();
+    for &start in &nodes {
+        if *colour.get(&start).unwrap_or(&Colour::White) != Colour::White {
+            continue;
+        }
+        // (node, next-child index) stack.
+        let mut stack: Vec<(PortId, usize)> = vec![(start, 0)];
+        colour.insert(start, Colour::Grey);
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let children = succ.get(&node).map_or(&[][..], Vec::as_slice);
+            if *idx < children.len() {
+                let child = children[*idx];
+                *idx += 1;
+                match *colour.get(&child).unwrap_or(&Colour::White) {
+                    Colour::White => {
+                        colour.insert(child, Colour::Grey);
+                        stack.push((child, 0));
+                    }
+                    Colour::Grey => {
+                        // Cycle: from child's position on the stack to top.
+                        let pos = stack
+                            .iter()
+                            .position(|&(n, _)| n == child)
+                            .expect("grey node is on the stack");
+                        let cycle = stack[pos..].iter().map(|&(n, _)| n).collect();
+                        return Some(CombLoop { place: s, cycle });
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour.insert(node, Colour::Black);
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Check every control state; returns all loops found.
+pub fn find_all_comb_loops(g: &Etpn) -> Vec<CombLoop> {
+    g.ctl
+        .places()
+        .ids()
+        .filter_map(|s| find_comb_loop(g, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::{EtpnBuilder, Op};
+
+    #[test]
+    fn pass_cycle_detected() {
+        let mut b = EtpnBuilder::new();
+        let p0 = b.operator(Op::Pass, 1, "p0");
+        let p1 = b.operator(Op::Pass, 1, "p1");
+        let a0 = b.connect(b.out_port(p0, 0), b.in_port(p1, 0));
+        let a1 = b.connect(b.out_port(p1, 0), b.in_port(p0, 0));
+        let s = b.place("s");
+        b.control(s, [a0, a1]);
+        b.mark(s);
+        let g = b.finish().unwrap();
+        let l = find_comb_loop(&g, s).expect("cycle must be found");
+        assert_eq!(l.place, s);
+        assert!(l.cycle.len() >= 2);
+        assert_eq!(find_all_comb_loops(&g).len(), 1);
+    }
+
+    #[test]
+    fn register_breaks_cycle() {
+        let mut b = EtpnBuilder::new();
+        let one = b.constant(1, "one");
+        let add = b.operator(Op::Add, 2, "add");
+        let r = b.register("r");
+        let a0 = b.connect(b.out_port(r, 0), b.in_port(add, 0));
+        let a1 = b.connect(b.out_port(one, 0), b.in_port(add, 1));
+        let a2 = b.connect(b.out_port(add, 0), b.in_port(r, 0));
+        let s = b.place("s");
+        b.control(s, [a0, a1, a2]);
+        b.mark(s);
+        let g = b.finish().unwrap();
+        assert!(find_comb_loop(&g, s).is_none());
+    }
+
+    #[test]
+    fn cycle_split_across_states_is_fine() {
+        // p0 → p1 under s0; p1 → p0 under s1: never active together.
+        let mut b = EtpnBuilder::new();
+        let p0 = b.operator(Op::Pass, 1, "p0");
+        let p1 = b.operator(Op::Pass, 1, "p1");
+        let a0 = b.connect(b.out_port(p0, 0), b.in_port(p1, 0));
+        let a1 = b.connect(b.out_port(p1, 0), b.in_port(p0, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        b.control(s0, [a0]);
+        b.control(s1, [a1]);
+        b.seq(s0, s1, "t");
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        assert!(find_all_comb_loops(&g).is_empty());
+    }
+
+    #[test]
+    fn self_feedback_through_single_pass_detected() {
+        let mut b = EtpnBuilder::new();
+        let p0 = b.operator(Op::Pass, 1, "p0");
+        let a0 = b.connect(b.out_port(p0, 0), b.in_port(p0, 0));
+        let s = b.place("s");
+        b.control(s, [a0]);
+        b.mark(s);
+        let g = b.finish().unwrap();
+        assert!(find_comb_loop(&g, s).is_some());
+    }
+}

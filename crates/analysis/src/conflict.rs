@@ -1,0 +1,198 @@
+//! Conflict-freedom analysis (paper Def. 3.2(3)).
+//!
+//! Two transitions sharing an input place must have mutually exclusive
+//! guards: `V(Poi) AND V(Poj) = FALSE`. Exclusivity is undecidable in
+//! general; we implement the sufficient *syntactic* criterion used in
+//! practice — two single-guard transitions are exclusive when their guard
+//! ports carry **complementary predicates of the same vertex** (`<` vs `>=`,
+//! `==` vs `!=`, `<=` vs `>`). Anything else is reported as a *potential*
+//! conflict for the designer (or the randomized oracle) to discharge.
+
+use etpn_core::{Etpn, Op, PlaceId, PortId, TransId};
+
+/// Verdict for one shared-input-place transition pair.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConflictFinding {
+    /// The shared input place.
+    pub place: PlaceId,
+    /// First transition of the pair.
+    pub t1: TransId,
+    /// Second transition of the pair.
+    pub t2: TransId,
+    /// True when exclusivity could be established syntactically.
+    pub proven_exclusive: bool,
+    /// Explanation of the verdict.
+    pub reason: String,
+}
+
+/// True when `a` and `b` are complementary comparison operations.
+fn complementary(a: Op, b: Op) -> bool {
+    matches!(
+        (a, b),
+        (Op::Lt, Op::Ge)
+            | (Op::Ge, Op::Lt)
+            | (Op::Le, Op::Gt)
+            | (Op::Gt, Op::Le)
+            | (Op::Eq, Op::Ne)
+            | (Op::Ne, Op::Eq)
+    )
+}
+
+/// True when the two guard port sets are provably mutually exclusive.
+fn guards_exclusive(g: &Etpn, g1: &[PortId], g2: &[PortId]) -> bool {
+    // Multi-guard transitions OR their guards (Def. 3.1(4)); proving
+    // exclusivity of disjunctions syntactically needs every cross pair
+    // exclusive.
+    if g1.is_empty() || g2.is_empty() {
+        return false; // an unguarded transition is always ready
+    }
+    g1.iter().all(|&p1| {
+        g2.iter().all(|&p2| {
+            let (port1, port2) = (g.dp.port(p1), g.dp.port(p2));
+            port1.vertex == port2.vertex
+                && complementary(port1.operation(), port2.operation())
+        })
+    })
+}
+
+/// Check every pair of transitions sharing an input place.
+pub fn check_conflicts(g: &Etpn) -> Vec<ConflictFinding> {
+    let mut findings = Vec::new();
+    for (s, place) in g.ctl.places().iter() {
+        let outs = &place.post;
+        for (i, &t1) in outs.iter().enumerate() {
+            for &t2 in &outs[i + 1..] {
+                let gu1 = &g.ctl.transition(t1).guards;
+                let gu2 = &g.ctl.transition(t2).guards;
+                let proven = guards_exclusive(g, gu1, gu2);
+                let reason = if proven {
+                    "complementary predicates on one vertex".to_string()
+                } else if gu1.is_empty() || gu2.is_empty() {
+                    "an unguarded transition shares the input place".to_string()
+                } else {
+                    "guard exclusivity not syntactically provable".to_string()
+                };
+                findings.push(ConflictFinding {
+                    place: s,
+                    t1,
+                    t2,
+                    proven_exclusive: proven,
+                    reason,
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// True when every shared-input-place pair is provably exclusive.
+pub fn is_conflict_free(g: &Etpn) -> bool {
+    check_conflicts(g).iter().all(|f| f.proven_exclusive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::EtpnBuilder;
+
+    /// A branch place with two transitions guarded by `r < 0` and `r >= 0`.
+    fn branch(complement: bool) -> Etpn {
+        let mut b = EtpnBuilder::new();
+        let r = b.register("r");
+        let zero = b.constant(0, "zero");
+        let lt = b.operator(Op::Lt, 2, "lt");
+        let other_op = if complement { Op::Ge } else { Op::Gt };
+        let other = b.operator(other_op, 2, "other");
+        let a0 = b.connect(b.out_port(r, 0), b.in_port(lt, 0));
+        let a1 = b.connect(b.out_port(zero, 0), b.in_port(lt, 1));
+        let a2 = b.connect(b.out_port(r, 0), b.in_port(other, 0));
+        let a3 = b.connect(b.out_port(zero, 0), b.in_port(other, 1));
+        let s = b.place("s");
+        b.control(s, [a0, a1, a2, a3]);
+        let s1 = b.place("s1");
+        let s2 = b.place("s2");
+        let t1 = b.seq(s, s1, "t1");
+        let t2 = b.seq(s, s2, "t2");
+        // Complementary guards only when both read the same vertex — here we
+        // intentionally use *different* vertices so they are never the same
+        // port; adjust to share one comparator for the provable case.
+        let _ = (t1, t2);
+        b.mark(s);
+        let mut g = b.finish().unwrap();
+        // Rewire guards directly on the control structure.
+        let lt_p = g.dp.out_port(g.dp.vertex_by_name("lt").unwrap(), 0);
+        let other_p = g.dp.out_port(g.dp.vertex_by_name("other").unwrap(), 0);
+        let t1 = g.ctl.transitions().ids().next().unwrap();
+        let t2 = g.ctl.transitions().ids().nth(1).unwrap();
+        g.ctl.add_guard(t1, lt_p);
+        g.ctl.add_guard(t2, other_p);
+        g
+    }
+
+    #[test]
+    fn same_vertex_complement_is_exclusive() {
+        // Build a branch where both guards are outputs of ONE two-output
+        // comparator vertex carrying Lt and Ge.
+        let mut b = EtpnBuilder::new();
+        let r = b.register("r");
+        let zero = b.constant(0, "zero");
+        let cmp = b.operator_multi(&[Op::Lt, Op::Ge], 2, "cmp");
+        let a0 = b.connect(b.out_port(r, 0), b.in_port(cmp, 0));
+        let a1 = b.connect(b.out_port(zero, 0), b.in_port(cmp, 1));
+        let s = b.place("s");
+        b.control(s, [a0, a1]);
+        let s1 = b.place("s1");
+        let s2 = b.place("s2");
+        let t1 = b.seq(s, s1, "t1");
+        let t2 = b.seq(s, s2, "t2");
+        b.guard(t1, b.out_port(cmp, 0));
+        b.guard(t2, b.out_port(cmp, 1));
+        b.mark(s);
+        let g = b.finish().unwrap();
+        let findings = check_conflicts(&g);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].proven_exclusive, "{findings:?}");
+        assert!(is_conflict_free(&g));
+    }
+
+    #[test]
+    fn different_vertices_not_provable() {
+        let g = branch(true);
+        assert!(!is_conflict_free(&g), "distinct comparators: not provable");
+    }
+
+    #[test]
+    fn non_complementary_ops_not_exclusive() {
+        let g = branch(false); // Lt vs Gt overlap at nothing… but syntactically unproven
+        let findings = check_conflicts(&g);
+        assert!(findings.iter().any(|f| !f.proven_exclusive));
+    }
+
+    #[test]
+    fn unguarded_pair_is_conflicting() {
+        let mut b = EtpnBuilder::new();
+        let s = b.place("s");
+        let s1 = b.place("s1");
+        let s2 = b.place("s2");
+        b.seq(s, s1, "t1");
+        b.seq(s, s2, "t2");
+        b.mark(s);
+        let g = b.finish().unwrap();
+        let findings = check_conflicts(&g);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].proven_exclusive);
+        assert!(findings[0].reason.contains("unguarded"));
+    }
+
+    #[test]
+    fn single_successor_is_fine() {
+        let mut b = EtpnBuilder::new();
+        let s = b.place("s");
+        let s1 = b.place("s1");
+        b.seq(s, s1, "t");
+        b.mark(s);
+        let g = b.finish().unwrap();
+        assert!(check_conflicts(&g).is_empty());
+        assert!(is_conflict_free(&g));
+    }
+}

@@ -1,0 +1,326 @@
+//! Critical-path analysis (paper §5).
+//!
+//! "A critical path analysis technique is used … to guide the transformation
+//! process." Two measures are provided:
+//!
+//! * the **state delay** — the longest combinational chain active under one
+//!   control state, in delay units from a pluggable per-operation delay
+//!   function (the module library supplies realistic values);
+//! * the **control critical path** — the longest chain of control states
+//!   through the acyclic condensation of `⇒`, weighted by state delays.
+//!   Loops are collapsed to their strongly connected component (one
+//!   iteration); callers multiply by trip counts when known.
+
+use etpn_core::bitset::BitSet;
+use etpn_core::port::Dir;
+use etpn_core::{Etpn, Op, PlaceId, PortId};
+use std::collections::HashMap;
+
+/// Default delay model: unit registers, multi-unit multipliers — shaped
+/// like the classic HLS libraries (multiply ≫ add > logic).
+pub fn default_delay(op: Op) -> u64 {
+    match op {
+        Op::Mul => 4,
+        Op::Div | Op::Rem => 8,
+        Op::Add | Op::Sub | Op::Abs | Op::Neg | Op::Min | Op::Max => 2,
+        Op::Shl | Op::Shr => 1,
+        Op::And | Op::Or | Op::Xor | Op::Not => 1,
+        Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => 2,
+        Op::Mux | Op::Pass => 1,
+        Op::Const(_) => 0,
+        Op::Reg | Op::Input => 1,
+    }
+}
+
+/// Longest combinational chain active under state `s`, under `delay`.
+///
+/// Walks the state's controlled arcs plus intra-vertex edges (as in the
+/// combinational-loop check); sources are sequential outputs and constants.
+/// Returns 0 for idle states. Assumes the state is loop-free (checked by
+/// `comb_loop`); cycles would make the longest path unbounded, so they are
+/// truncated by visitation bookkeeping.
+pub fn state_delay(g: &Etpn, s: PlaceId, delay: &dyn Fn(Op) -> u64) -> u64 {
+    // Memoized longest path ending at each port.
+    let mut memo: HashMap<PortId, u64> = HashMap::new();
+    let mut visiting = BitSet::new(g.dp.ports().capacity_bound());
+    let ctrl: Vec<_> = g.ctl.ctrl(s).to_vec();
+    let arc_set: BitSet = ctrl.iter().map(|a| a.idx()).collect();
+
+    fn longest(
+        g: &Etpn,
+        p: PortId,
+        arc_set: &BitSet,
+        delay: &dyn Fn(Op) -> u64,
+        memo: &mut HashMap<PortId, u64>,
+        visiting: &mut BitSet,
+    ) -> u64 {
+        if let Some(&d) = memo.get(&p) {
+            return d;
+        }
+        if !visiting.insert(p.idx()) {
+            return 0; // cycle guard
+        }
+        let port = g.dp.port(p);
+        let d = match port.dir {
+            Dir::In => g
+                .dp
+                .incoming_arcs(p)
+                .iter()
+                .filter(|&&a| arc_set.contains(a.idx()))
+                .map(|&a| longest(g, g.dp.arc(a).from, arc_set, delay, memo, visiting))
+                .max()
+                .unwrap_or(0),
+            Dir::Out => {
+                let op = port.operation();
+                if op.is_sequential() || matches!(op, Op::Const(_)) {
+                    delay(op)
+                } else {
+                    let vx = g.dp.vertex(port.vertex);
+                    let input_max = vx
+                        .inputs
+                        .iter()
+                        .take(op.arity())
+                        .map(|&ip| longest(g, ip, arc_set, delay, memo, visiting))
+                        .max()
+                        .unwrap_or(0);
+                    input_max + delay(op)
+                }
+            }
+        };
+        visiting.remove(p.idx());
+        memo.insert(p, d);
+        d
+    }
+
+    // The chains that matter end at the *targets* of controlled arcs.
+    ctrl.iter()
+        .map(|&a| {
+            let to = g.dp.arc(a).to;
+            longest(g, to, &arc_set, delay, &mut memo, &mut visiting)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The critical path through the control structure.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Total delay along the path (one visit per state).
+    pub length: u64,
+    /// The control states on the path, in order.
+    pub states: Vec<PlaceId>,
+}
+
+/// Compute the longest state-delay-weighted chain through the control
+/// structure with loop back-edges removed.
+///
+/// The place graph (one edge `Si → Sj` per transition with `Si` in its
+/// pre-set and `Sj` in its post-set) is acyclified by dropping DFS back
+/// edges from the initial states — for compiled designs exactly the loop
+/// back-edges — and the longest path over the resulting DAG is returned.
+/// One loop iteration is thus counted once; the bound is a *guidance
+/// metric* for the optimiser (parallelising states inside a loop body
+/// shortens it), while exact makespans come from simulation.
+pub fn critical_path(g: &Etpn, delay: &dyn Fn(Op) -> u64) -> CriticalPath {
+    let places: Vec<PlaceId> = g.ctl.places().ids().collect();
+    if places.is_empty() {
+        return CriticalPath {
+            length: 0,
+            states: Vec::new(),
+        };
+    }
+    let delays: HashMap<PlaceId, u64> = places
+        .iter()
+        .map(|&s| (s, state_delay(g, s, delay)))
+        .collect();
+
+    // Direct place successor edges.
+    let mut succ: HashMap<PlaceId, Vec<PlaceId>> = HashMap::new();
+    for (_, tr) in g.ctl.transitions().iter() {
+        for &a in &tr.pre {
+            for &b in &tr.post {
+                let e = succ.entry(a).or_default();
+                if !e.contains(&b) {
+                    e.push(b);
+                }
+            }
+        }
+    }
+
+    // Iterative DFS from the initial places (then any unvisited ones),
+    // collecting forward/cross edges only.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: HashMap<PlaceId, Colour> =
+        places.iter().map(|&s| (s, Colour::White)).collect();
+    let mut dag: HashMap<PlaceId, Vec<PlaceId>> = HashMap::new();
+    let mut roots: Vec<PlaceId> = g.ctl.initial_places();
+    roots.extend(places.iter().copied());
+    for root in roots {
+        if colour[&root] != Colour::White {
+            continue;
+        }
+        let mut stack: Vec<(PlaceId, usize)> = vec![(root, 0)];
+        colour.insert(root, Colour::Grey);
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let children = succ.get(&node).map_or(&[][..], Vec::as_slice);
+            if *idx < children.len() {
+                let child = children[*idx];
+                *idx += 1;
+                match colour[&child] {
+                    Colour::Grey => {} // back edge: drop (loop closes here)
+                    Colour::White => {
+                        dag.entry(node).or_default().push(child);
+                        colour.insert(child, Colour::Grey);
+                        stack.push((child, 0));
+                    }
+                    Colour::Black => {
+                        dag.entry(node).or_default().push(child);
+                    }
+                }
+            } else {
+                colour.insert(node, Colour::Black);
+                stack.pop();
+            }
+        }
+    }
+
+    // Longest path over the DAG by memoised traversal.
+    fn longest(
+        s: PlaceId,
+        dag: &HashMap<PlaceId, Vec<PlaceId>>,
+        delays: &HashMap<PlaceId, u64>,
+        memo: &mut HashMap<PlaceId, (u64, Vec<PlaceId>)>,
+    ) -> (u64, Vec<PlaceId>) {
+        if let Some(hit) = memo.get(&s) {
+            return hit.clone();
+        }
+        let mut best: (u64, Vec<PlaceId>) = (0, Vec::new());
+        for &nx in dag.get(&s).map_or(&[][..], Vec::as_slice) {
+            let cand = longest(nx, dag, delays, memo);
+            if cand.0 > best.0 || best.1.is_empty() {
+                best = cand;
+            }
+        }
+        let mut path = vec![s];
+        path.extend(best.1);
+        let result = (delays[&s] + best.0, path);
+        memo.insert(s, result.clone());
+        result
+    }
+
+    let mut memo = HashMap::new();
+    let mut overall: (u64, Vec<PlaceId>) = (0, Vec::new());
+    for &s in &places {
+        let cand = longest(s, &dag, &delays, &mut memo);
+        if cand.0 > overall.0 || overall.1.is_empty() {
+            overall = cand;
+        }
+    }
+    CriticalPath {
+        length: overall.0,
+        states: overall.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::EtpnBuilder;
+
+    #[test]
+    fn state_delay_counts_longest_chain() {
+        // x → mul → add → reg under one state: reg(1)+... chain is
+        // in(1) → mul(4) → add(2) = 7 ending at the register's input.
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let mul = b.operator(Op::Mul, 2, "mul");
+        let add = b.operator(Op::Add, 2, "add");
+        let r = b.register("r");
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(mul, 0));
+        let a1 = b.connect(b.out_port(x, 0), b.in_port(mul, 1));
+        let a2 = b.connect(b.out_port(mul, 0), b.in_port(add, 0));
+        let a3 = b.connect(b.out_port(x, 0), b.in_port(add, 1));
+        let a4 = b.connect(b.out_port(add, 0), b.in_port(r, 0));
+        let s = b.place("s");
+        b.control(s, [a0, a1, a2, a3, a4]);
+        b.mark(s);
+        let g = b.finish().unwrap();
+        assert_eq!(state_delay(&g, s, &default_delay), 1 + 4 + 2);
+    }
+
+    #[test]
+    fn idle_state_has_zero_delay() {
+        let mut b = EtpnBuilder::new();
+        let s = b.place("s");
+        b.mark(s);
+        let g = b.finish().unwrap();
+        assert_eq!(state_delay(&g, s, &default_delay), 0);
+    }
+
+    #[test]
+    fn serial_chain_critical_path_sums() {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(r1, 0));
+        let a1 = b.connect(b.out_port(r1, 0), b.in_port(r2, 0));
+        let s = b.serial_chain(2, "s");
+        b.control(s[0], [a0]);
+        b.control(s[1], [a1]);
+        let g = b.finish().unwrap();
+        let cp = critical_path(&g, &default_delay);
+        // s0: in(1); s1: reg(1). Both on the path.
+        assert_eq!(cp.length, 2);
+        assert_eq!(cp.states.len(), 2);
+    }
+
+    #[test]
+    fn parallel_branches_take_max_not_sum() {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let mul = b.operator(Op::Mul, 2, "mul");
+        let rm = b.register("rm");
+        let ra = b.register("ra");
+        let m0 = b.connect(b.out_port(x, 0), b.in_port(mul, 0));
+        let m1 = b.connect(b.out_port(x, 0), b.in_port(mul, 1));
+        let m2 = b.connect(b.out_port(mul, 0), b.in_port(rm, 0));
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(ra, 0));
+        let s0 = b.place("s0");
+        let sm = b.place("sm"); // heavy branch: 1+4 = 5
+        let sa = b.place("sa"); // light branch: 1
+        b.control(sm, [m0, m1, m2]);
+        b.control(sa, [a0]);
+        let tf = b.transition("fork");
+        b.flow_st(s0, tf);
+        b.flow_ts(tf, sm);
+        b.flow_ts(tf, sa);
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let cp = critical_path(&g, &default_delay);
+        assert_eq!(cp.length, 5, "the multiplier branch dominates");
+    }
+
+    #[test]
+    fn loop_counts_one_iteration() {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let r = b.register("r");
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(r, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        b.control(s0, [a0]);
+        b.seq(s0, s1, "t0");
+        b.seq(s1, s0, "t1");
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let cp = critical_path(&g, &default_delay);
+        assert_eq!(cp.length, 1, "SCC collapsed to one visit");
+        assert_eq!(cp.states.len(), 2);
+    }
+}

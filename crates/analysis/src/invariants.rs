@@ -1,0 +1,342 @@
+#![allow(clippy::needless_range_loop)] // matrix row/col arithmetic reads clearer indexed
+//! Place-invariant analysis of the control net.
+//!
+//! A P-invariant is a weighting `y : S → ℤ`, `y ≠ 0`, with `yᵀ·N = 0` for
+//! the incidence matrix `N[s][t] = post(t,s) − pre(t,s)`; the weighted token
+//! count `y·M` is then constant over all reachable markings. Invariants give
+//! the classic *structural* (reachability-free) sufficient condition for
+//! safeness used by experiment E7's structural-vs-exhaustive comparison:
+//! a place covered by a non-negative invariant with `y·M0 = 1` can never
+//! hold two tokens.
+
+use etpn_core::{Control, PlaceId};
+
+/// A basis of the left null space of the incidence matrix (one weight per
+/// live place, in `places` order).
+#[derive(Clone, Debug)]
+pub struct PInvariants {
+    /// Live places, defining the column order of the weight vectors.
+    pub places: Vec<PlaceId>,
+    /// Basis vectors (integer weights, not necessarily non-negative).
+    pub basis: Vec<Vec<i64>>,
+}
+
+/// Compute a basis of P-invariants by fraction-free Gaussian elimination
+/// over the transposed incidence matrix.
+pub fn p_invariants(control: &Control) -> PInvariants {
+    let places: Vec<PlaceId> = control.places().ids().collect();
+    let trans: Vec<_> = control.transitions().ids().collect();
+    let np = places.len();
+    let nt = trans.len();
+    let pidx = |s: PlaceId| places.iter().position(|&p| p == s).expect("live place");
+
+    // Rows: [N | I] with N the (np × nt) incidence; eliminate columns of N,
+    // surviving rows' identity parts are the invariant basis.
+    let mut rows: Vec<(Vec<i128>, Vec<i128>)> = (0..np)
+        .map(|i| {
+            let n = vec![0i128; nt];
+            let mut id = vec![0i128; np];
+            id[i] = 1;
+            (n, id)
+        })
+        .collect();
+    for (ti, &t) in trans.iter().enumerate() {
+        let tr = control.transition(t);
+        for &s in &tr.pre {
+            rows[pidx(s)].0[ti] -= 1;
+        }
+        for &s in &tr.post {
+            rows[pidx(s)].0[ti] += 1;
+        }
+    }
+
+    // Eliminate.
+    let mut pivot_rows: Vec<usize> = Vec::new();
+    for col in 0..nt {
+        let Some(pr) = (0..rows.len())
+            .find(|&r| !pivot_rows.contains(&r) && rows[r].0[col] != 0)
+        else {
+            continue;
+        };
+        pivot_rows.push(pr);
+        let (pn, pid) = rows[pr].clone();
+        let pv = pn[col];
+        for r in 0..rows.len() {
+            if r == pr || rows[r].0[col] == 0 {
+                continue;
+            }
+            let rv = rows[r].0[col];
+            for c in 0..nt {
+                rows[r].0[c] = rows[r].0[c] * pv - pn[c] * rv;
+            }
+            for c in 0..np {
+                rows[r].1[c] = rows[r].1[c] * pv - pid[c] * rv;
+            }
+            normalise(&mut rows[r]);
+        }
+    }
+
+    let basis = rows
+        .iter()
+        .enumerate()
+        .filter(|(r, (n, _))| !pivot_rows.contains(r) && n.iter().all(|&x| x == 0))
+        .map(|(_, (_, id))| id.iter().map(|&x| x as i64).collect())
+        .collect();
+    PInvariants { places, basis }
+}
+
+/// Divide a row by the gcd of its entries and fix the sign.
+fn normalise(row: &mut (Vec<i128>, Vec<i128>)) {
+    fn gcd(a: i128, b: i128) -> i128 {
+        if b == 0 {
+            a.abs()
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let g = row
+        .0
+        .iter()
+        .chain(row.1.iter())
+        .fold(0i128, |acc, &x| gcd(acc, x));
+    if g > 1 {
+        for x in row.0.iter_mut().chain(row.1.iter_mut()) {
+            *x /= g;
+        }
+    }
+    // Make the first nonzero identity entry positive for determinism.
+    if let Some(&first) = row.1.iter().find(|&&x| x != 0) {
+        if first < 0 {
+            for x in row.0.iter_mut().chain(row.1.iter_mut()) {
+                *x = -*x;
+            }
+        }
+    }
+}
+
+impl PInvariants {
+    /// True when every place is *covered*: some basis combination gives a
+    /// non-negative invariant `y ≥ 0` with `y(s) ≥ 1` and `y·M0 = 1`. We
+    /// check the (common) simple case of basis vectors that are themselves
+    /// non-negative — sufficient for the serial/fork-join nets synthesis
+    /// produces.
+    pub fn structurally_safe(&self, control: &Control) -> bool {
+        let m0: Vec<i64> = self
+            .places
+            .iter()
+            .map(|&s| i64::from(control.place(s).marked0))
+            .collect();
+        self.places.iter().enumerate().all(|(i, _)| {
+            self.basis.iter().any(|y| {
+                y.iter().all(|&w| w >= 0)
+                    && y[i] >= 1
+                    && y.iter().zip(&m0).map(|(a, b)| a * b).sum::<i64>() == 1
+            })
+        })
+    }
+
+    /// The weighted initial token count of each basis invariant.
+    pub fn initial_counts(&self, control: &Control) -> Vec<i64> {
+        let m0: Vec<i64> = self
+            .places
+            .iter()
+            .map(|&s| i64::from(control.place(s).marked0))
+            .collect();
+        self.basis
+            .iter()
+            .map(|y| y.iter().zip(&m0).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+/// A basis of T-invariants: firing-count vectors `x` with `N·x = 0` — a
+/// multiset of firings that reproduces the marking it started from. Every
+/// steady-state loop of a design (one iteration of a `while` body) shows up
+/// as a T-invariant; a net with no non-trivial T-invariant can only
+/// terminate.
+#[derive(Clone, Debug)]
+pub struct TInvariants {
+    /// Live transitions, defining the component order of the vectors.
+    pub transitions: Vec<etpn_core::TransId>,
+    /// Basis vectors (integer firing counts, not necessarily non-negative).
+    pub basis: Vec<Vec<i64>>,
+}
+
+/// Compute a basis of T-invariants (right null space of the incidence
+/// matrix) by the same fraction-free elimination as [`p_invariants`].
+pub fn t_invariants(control: &Control) -> TInvariants {
+    let places: Vec<PlaceId> = control.places().ids().collect();
+    let trans: Vec<etpn_core::TransId> = control.transitions().ids().collect();
+    let np = places.len();
+    let nt = trans.len();
+    let pidx = |s: PlaceId| places.iter().position(|&p| p == s).expect("live place");
+
+    // Rows are transitions: [Nᵀ | I]; eliminate the place columns.
+    let mut rows: Vec<(Vec<i128>, Vec<i128>)> = (0..nt)
+        .map(|i| {
+            let n = vec![0i128; np];
+            let mut id = vec![0i128; nt];
+            id[i] = 1;
+            (n, id)
+        })
+        .collect();
+    for (ti, &t) in trans.iter().enumerate() {
+        let tr = control.transition(t);
+        for &s in &tr.pre {
+            rows[ti].0[pidx(s)] -= 1;
+        }
+        for &s in &tr.post {
+            rows[ti].0[pidx(s)] += 1;
+        }
+    }
+    let mut pivot_rows: Vec<usize> = Vec::new();
+    for col in 0..np {
+        let Some(pr) = (0..rows.len()).find(|&r| !pivot_rows.contains(&r) && rows[r].0[col] != 0)
+        else {
+            continue;
+        };
+        pivot_rows.push(pr);
+        let (pn, pid) = rows[pr].clone();
+        let pv = pn[col];
+        for r in 0..rows.len() {
+            if r == pr || rows[r].0[col] == 0 {
+                continue;
+            }
+            let rv = rows[r].0[col];
+            for c in 0..np {
+                rows[r].0[c] = rows[r].0[c] * pv - pn[c] * rv;
+            }
+            for c in 0..nt {
+                rows[r].1[c] = rows[r].1[c] * pv - pid[c] * rv;
+            }
+            normalise(&mut rows[r]);
+        }
+    }
+    let basis = rows
+        .iter()
+        .enumerate()
+        .filter(|(r, (n, _))| !pivot_rows.contains(r) && n.iter().all(|&x| x == 0))
+        .map(|(_, (_, id))| id.iter().map(|&x| x as i64).collect())
+        .collect();
+    TInvariants {
+        transitions: trans,
+        basis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::Marking;
+
+    /// s0 → t0 → s1 → t1 → s0: invariant y = (1, 1).
+    fn two_cycle() -> Control {
+        let mut c = Control::new();
+        let s0 = c.add_place("s0");
+        let s1 = c.add_place("s1");
+        let t0 = c.add_transition("t0");
+        let t1 = c.add_transition("t1");
+        c.flow_st(s0, t0).unwrap();
+        c.flow_ts(t0, s1).unwrap();
+        c.flow_st(s1, t1).unwrap();
+        c.flow_ts(t1, s0).unwrap();
+        c.set_marked0(s0, true);
+        c
+    }
+
+    #[test]
+    fn cycle_invariant_found() {
+        let c = two_cycle();
+        let inv = p_invariants(&c);
+        assert_eq!(inv.basis.len(), 1);
+        assert_eq!(inv.basis[0], vec![1, 1]);
+        assert!(inv.structurally_safe(&c));
+        assert_eq!(inv.initial_counts(&c), vec![1]);
+    }
+
+    #[test]
+    fn invariant_holds_along_firing() {
+        let c = two_cycle();
+        let inv = p_invariants(&c);
+        let y = &inv.basis[0];
+        let weight = |m: &Marking| {
+            inv.places
+                .iter()
+                .zip(y)
+                .map(|(&s, &w)| w * m.count(s) as i64)
+                .sum::<i64>()
+        };
+        let mut m = Marking::initial(&c);
+        let w0 = weight(&m);
+        for _ in 0..4 {
+            let t = m.enabled_transitions(&c)[0];
+            m.fire(&c, t);
+            assert_eq!(weight(&m), w0, "invariant preserved by firing");
+        }
+    }
+
+    #[test]
+    fn fork_join_invariant() {
+        // s0 → fork → {sa, sb} → join → s0. Invariants: s0+sa, s0+sb.
+        let mut c = Control::new();
+        let s0 = c.add_place("s0");
+        let sa = c.add_place("sa");
+        let sb = c.add_place("sb");
+        let f = c.add_transition("fork");
+        c.flow_st(s0, f).unwrap();
+        c.flow_ts(f, sa).unwrap();
+        c.flow_ts(f, sb).unwrap();
+        let j = c.add_transition("join");
+        c.flow_st(sa, j).unwrap();
+        c.flow_st(sb, j).unwrap();
+        c.flow_ts(j, s0).unwrap();
+        c.set_marked0(s0, true);
+        let inv = p_invariants(&c);
+        assert_eq!(inv.basis.len(), 2);
+        assert!(inv.structurally_safe(&c));
+    }
+
+    #[test]
+    fn unbounded_net_not_structurally_safe() {
+        // s0 → t → {s0, s1}: s1 accumulates tokens; no invariant covers it.
+        let mut c = Control::new();
+        let s0 = c.add_place("s0");
+        let s1 = c.add_place("s1");
+        let t = c.add_transition("t");
+        c.flow_st(s0, t).unwrap();
+        c.flow_ts(t, s0).unwrap();
+        c.flow_ts(t, s1).unwrap();
+        c.set_marked0(s0, true);
+        let inv = p_invariants(&c);
+        assert!(!inv.structurally_safe(&c));
+    }
+
+    #[test]
+    fn t_invariant_of_a_cycle() {
+        let c = two_cycle();
+        let ti = t_invariants(&c);
+        assert_eq!(ti.basis.len(), 1);
+        assert_eq!(ti.basis[0], vec![1, 1], "fire both once to return");
+    }
+
+    #[test]
+    fn terminating_chain_has_no_t_invariant() {
+        let mut c = Control::new();
+        let s0 = c.add_place("s0");
+        let s1 = c.add_place("s1");
+        let t = c.add_transition("t");
+        c.flow_st(s0, t).unwrap();
+        c.flow_ts(t, s1).unwrap();
+        c.set_marked0(s0, true);
+        let ti = t_invariants(&c);
+        assert!(ti.basis.is_empty(), "{:?}", ti.basis);
+    }
+
+    #[test]
+    fn empty_net() {
+        let c = Control::new();
+        let inv = p_invariants(&c);
+        assert!(inv.basis.is_empty());
+        assert!(inv.structurally_safe(&c), "vacuously safe");
+    }
+}

@@ -1,0 +1,170 @@
+//! Transition liveness classification over the reachability graph.
+//!
+//! Classic Petri-net liveness levels, computed exactly on the explored
+//! marking graph (guards ignored — the usual conservative
+//! over-approximation):
+//!
+//! * **dead** (L0): the transition fires in no reachable marking — dead
+//!   control logic, reported by synthesis as removable;
+//! * **L1-live**: it fires in at least one run;
+//! * **live** (L4 on the explored graph): from *every* reachable marking
+//!   some continuation fires it — the property a non-terminating controller
+//!   (e.g. a sample-processing loop) wants for its loop body.
+//!
+//! Terminating designs are never live in the strong sense (the empty
+//! marking has no continuations), which [`LivenessReport::is_terminating`]
+//! makes explicit.
+
+use crate::reach::ReachGraph;
+use etpn_core::{Control, TransId};
+
+/// Liveness classification of every transition.
+#[derive(Clone, Debug)]
+pub struct LivenessReport {
+    /// Transitions that never fire (dead control logic).
+    pub dead: Vec<TransId>,
+    /// Transitions that fire in some run but are not live.
+    pub l1_live: Vec<TransId>,
+    /// Transitions fireable from every reachable marking.
+    pub live: Vec<TransId>,
+    /// True when some reachable marking is fully terminated.
+    pub terminating: bool,
+    /// False when the exploration was truncated (classification is then a
+    /// best effort over the explored prefix).
+    pub complete: bool,
+}
+
+impl LivenessReport {
+    /// True when the design can terminate (Def. 3.1(6) reachable).
+    pub fn is_terminating(&self) -> bool {
+        self.terminating
+    }
+}
+
+/// Classify all transitions of `control` using `graph`.
+pub fn liveness(control: &Control, graph: &ReachGraph) -> LivenessReport {
+    let n = graph.state_count();
+    // Backward closure helper: markings from which some `t`-edge is reachable.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(from, _, to) in &graph.edges {
+        preds[to].push(from);
+    }
+
+    let mut dead = Vec::new();
+    let mut l1 = Vec::new();
+    let mut live = Vec::new();
+    for t in control.transitions().ids() {
+        // Markings where t itself fires.
+        let firing: Vec<usize> = graph
+            .edges
+            .iter()
+            .filter(|&&(_, tt, _)| tt == t)
+            .map(|&(from, _, _)| from)
+            .collect();
+        if firing.is_empty() {
+            dead.push(t);
+            continue;
+        }
+        // Backward reachability from the firing markings.
+        let mut can_reach = vec![false; n];
+        let mut stack = firing.clone();
+        for &m in &firing {
+            can_reach[m] = true;
+        }
+        while let Some(m) = stack.pop() {
+            for &p in &preds[m] {
+                if !can_reach[p] {
+                    can_reach[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        if can_reach.iter().all(|&b| b) {
+            live.push(t);
+        } else {
+            l1.push(t);
+        }
+    }
+    LivenessReport {
+        dead,
+        l1_live: l1,
+        live,
+        terminating: graph.can_terminate(),
+        complete: graph.complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::PlaceId;
+
+    fn chain_with_dead_branch() -> (Control, Vec<TransId>) {
+        // s0 → t0 → s1 → t1 (terminates); t_dead needs s2 which never marks.
+        let mut c = Control::new();
+        let s0 = c.add_place("s0");
+        let s1 = c.add_place("s1");
+        let s2 = c.add_place("s2");
+        let t0 = c.add_transition("t0");
+        c.flow_st(s0, t0).unwrap();
+        c.flow_ts(t0, s1).unwrap();
+        let t1 = c.add_transition("t1");
+        c.flow_st(s1, t1).unwrap();
+        let t_dead = c.add_transition("t_dead");
+        c.flow_st(s2, t_dead).unwrap();
+        c.set_marked0(s0, true);
+        (c, vec![t0, t1, t_dead])
+    }
+
+    #[test]
+    fn dead_and_l1_classification() {
+        let (c, ts) = chain_with_dead_branch();
+        let g = ReachGraph::explore(&c, 1000);
+        let rep = liveness(&c, &g);
+        assert_eq!(rep.dead, vec![ts[2]]);
+        assert!(rep.l1_live.contains(&ts[0]) && rep.l1_live.contains(&ts[1]));
+        assert!(rep.live.is_empty(), "terminating nets are never live");
+        assert!(rep.is_terminating());
+        assert!(rep.complete);
+    }
+
+    #[test]
+    fn cyclic_net_is_live() {
+        let mut c = Control::new();
+        let s: Vec<PlaceId> = (0..3).map(|i| c.add_place(format!("s{i}"))).collect();
+        let mut ts = Vec::new();
+        for i in 0..3 {
+            let t = c.add_transition(format!("t{i}"));
+            c.flow_st(s[i], t).unwrap();
+            c.flow_ts(t, s[(i + 1) % 3]).unwrap();
+            ts.push(t);
+        }
+        c.set_marked0(s[0], true);
+        let g = ReachGraph::explore(&c, 1000);
+        let rep = liveness(&c, &g);
+        assert_eq!(rep.live.len(), 3);
+        assert!(rep.dead.is_empty() && rep.l1_live.is_empty());
+        assert!(!rep.is_terminating());
+    }
+
+    #[test]
+    fn branchy_loop_mixes_levels() {
+        // A loop with a one-shot side exit: loop transitions are l1 (the
+        // exit kills future firings); after the exit nothing fires.
+        let mut c = Control::new();
+        let s0 = c.add_place("s0");
+        let s1 = c.add_place("s1");
+        let t_loop = c.add_transition("t_loop");
+        c.flow_st(s0, t_loop).unwrap();
+        c.flow_ts(t_loop, s0).unwrap();
+        let t_exit = c.add_transition("t_exit");
+        c.flow_st(s0, t_exit).unwrap();
+        c.flow_ts(t_exit, s1).unwrap();
+        c.set_marked0(s0, true);
+        let g = ReachGraph::explore(&c, 1000);
+        let rep = liveness(&c, &g);
+        assert!(rep.l1_live.contains(&t_loop), "{rep:?}");
+        assert!(rep.l1_live.contains(&t_exit), "{rep:?}");
+        assert!(rep.live.is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! The *properly designed* check suite (paper Def. 3.2).
+//!
+//! A data/control flow system is properly designed when:
+//!
+//! 1. parallel control states have disjoint associated sets
+//!    (`ASS(Si) ∩ ASS(Sj) = ∅` if `Si ∥ Sj`);
+//! 2. the Petri net is safe;
+//! 3. the net is conflict-free (shared-input-place transitions have
+//!    mutually exclusive guards);
+//! 4. no control state's subgraph contains a combinational loop;
+//! 5. every control state's associated set includes a sequential vertex.
+//!
+//! For (5) we follow the letter of the definition for states that perform
+//! work (non-empty `C(S)`), and report *idle* states (empty `C(S)` — pure
+//! synchronisation points such as join landings) as warnings rather than
+//! violations: they open no arcs, so they cannot introduce the
+//! nondeterminism the rule exists to prevent.
+
+use crate::comb_loop::{find_all_comb_loops, CombLoop};
+use crate::conflict::{check_conflicts, ConflictFinding};
+use crate::reach::is_safe;
+use etpn_core::{ArcId, ControlRelations, Etpn, PlaceId, VertexId};
+use std::collections::HashSet;
+
+/// One violation of Def. 3.2(1): parallel states sharing resources.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SharedResource {
+    /// First state of the parallel pair.
+    pub s1: PlaceId,
+    /// Second state of the parallel pair.
+    pub s2: PlaceId,
+    /// Shared vertices (via input-port association, Def. 2.4).
+    pub vertices: Vec<VertexId>,
+    /// Shared arcs.
+    pub arcs: Vec<ArcId>,
+}
+
+/// Safeness verdict (Def. 3.2(2)).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SafetyVerdict {
+    /// Exhaustively proven safe.
+    Safe,
+    /// A reachable unsafe marking exists.
+    Unsafe,
+    /// The exploration budget ran out first.
+    Unknown,
+}
+
+/// Aggregate report of all five checks.
+#[derive(Clone, Debug)]
+pub struct ProperReport {
+    /// Def. 3.2(1) violations.
+    pub shared_resources: Vec<SharedResource>,
+    /// Def. 3.2(2) verdict.
+    pub safety: SafetyVerdict,
+    /// Def. 3.2(3): pairs that could not be proven exclusive.
+    pub conflicts: Vec<ConflictFinding>,
+    /// Def. 3.2(4) violations.
+    pub comb_loops: Vec<CombLoop>,
+    /// Def. 3.2(5) violations: working states without a sequential vertex.
+    pub no_sequential: Vec<PlaceId>,
+    /// Idle states (empty `C(S)`) — warnings, not violations.
+    pub idle_states: Vec<PlaceId>,
+}
+
+impl ProperReport {
+    /// True when the system passed every check.
+    pub fn is_proper(&self) -> bool {
+        self.shared_resources.is_empty()
+            && self.safety == SafetyVerdict::Safe
+            && self.conflicts.iter().all(|c| c.proven_exclusive)
+            && self.comb_loops.is_empty()
+            && self.no_sequential.is_empty()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "properly designed: {}\n",
+            if self.is_proper() { "YES" } else { "NO" }
+        ));
+        out.push_str(&format!(
+            "  (1) parallel resource sharing violations: {}\n",
+            self.shared_resources.len()
+        ));
+        out.push_str(&format!("  (2) safety: {:?}\n", self.safety));
+        let unproven = self.conflicts.iter().filter(|c| !c.proven_exclusive).count();
+        out.push_str(&format!("  (3) unproven-exclusive pairs: {unproven}\n"));
+        out.push_str(&format!("  (4) combinational loops: {}\n", self.comb_loops.len()));
+        out.push_str(&format!(
+            "  (5) working states without sequential vertex: {}\n",
+            self.no_sequential.len()
+        ));
+        out.push_str(&format!("  idle states (warnings): {}\n", self.idle_states.len()));
+        out
+    }
+}
+
+/// Run all five checks with the given reachability budget.
+pub fn check_properly_designed_with(g: &Etpn, max_states: usize) -> ProperReport {
+    // The acyclic skeleton models same-activation concurrency: inside a
+    // loop the plain `⇒` would relate every body pair and make this check
+    // vacuous (see `ControlRelations::compute_acyclic`).
+    let rel = ControlRelations::compute_acyclic(&g.ctl);
+
+    // (1) disjoint ASS for parallel states.
+    let mut shared_resources = Vec::new();
+    let places: Vec<PlaceId> = g.ctl.places().ids().collect();
+    let ass_v: Vec<HashSet<VertexId>> = places
+        .iter()
+        .map(|&s| g.ass_vertices(s).into_iter().collect())
+        .collect();
+    let ass_a: Vec<HashSet<ArcId>> = places
+        .iter()
+        .map(|&s| g.ctl.ctrl(s).iter().copied().collect())
+        .collect();
+    for (i, &si) in places.iter().enumerate() {
+        for (j, &sj) in places.iter().enumerate().skip(i + 1) {
+            if !rel.parallel(si, sj) {
+                continue;
+            }
+            let vertices: Vec<VertexId> =
+                ass_v[i].intersection(&ass_v[j]).copied().collect();
+            let arcs: Vec<ArcId> = ass_a[i].intersection(&ass_a[j]).copied().collect();
+            if !vertices.is_empty() || !arcs.is_empty() {
+                shared_resources.push(SharedResource {
+                    s1: si,
+                    s2: sj,
+                    vertices,
+                    arcs,
+                });
+            }
+        }
+    }
+
+    // (2) safeness.
+    let safety = match is_safe(&g.ctl, max_states) {
+        Some(true) => SafetyVerdict::Safe,
+        Some(false) => SafetyVerdict::Unsafe,
+        None => SafetyVerdict::Unknown,
+    };
+
+    // (3) conflicts, (4) combinational loops.
+    let conflicts = check_conflicts(g);
+    let comb_loops = find_all_comb_loops(g);
+
+    // (5) sequential vertex per working state.
+    let mut no_sequential = Vec::new();
+    let mut idle_states = Vec::new();
+    for &s in &places {
+        if g.ctl.ctrl(s).is_empty() {
+            idle_states.push(s);
+        } else if g.result_set(s).is_empty() && g.external_arcs_of(s).is_empty() {
+            // A state that opens arcs but latches nothing and is invisible
+            // to the environment does no observable work — Def. 3.2(5).
+            no_sequential.push(s);
+        }
+    }
+
+    ProperReport {
+        shared_resources,
+        safety,
+        conflicts,
+        comb_loops,
+        no_sequential,
+        idle_states,
+    }
+}
+
+/// [`check_properly_designed_with`] with the default budget of 65 536 markings.
+pub fn check_properly_designed(g: &Etpn) -> ProperReport {
+    check_properly_designed_with(g, 1 << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::{EtpnBuilder, Op};
+
+    fn proper_design() -> Etpn {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let r = b.register("r");
+        let y = b.output("y");
+        let load = b.connect(b.out_port(x, 0), b.in_port(r, 0));
+        let emit = b.connect(b.out_port(r, 0), b.in_port(y, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        let s_end = b.place("end");
+        b.control(s0, [load]);
+        b.control(s1, [emit]);
+        b.seq(s0, s1, "t0");
+        b.seq(s1, s_end, "t1");
+        let fin = b.transition("fin");
+        b.flow_st(s_end, fin);
+        b.mark(s0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn clean_design_passes() {
+        let g = proper_design();
+        let report = check_properly_designed(&g);
+        assert!(report.is_proper(), "{}", report.summary());
+        assert_eq!(report.idle_states.len(), 1, "`end` is idle");
+    }
+
+    #[test]
+    fn parallel_sharing_flagged() {
+        // Fork into sa ∥ sb, both loading the same register.
+        let mut b = EtpnBuilder::new();
+        let c1 = b.constant(1, "c1");
+        let r = b.register("r");
+        let a1 = b.connect(b.out_port(c1, 0), b.in_port(r, 0));
+        let s0 = b.place("s0");
+        let sa = b.place("sa");
+        let sb = b.place("sb");
+        b.control(sa, [a1]);
+        b.control(sb, [a1]);
+        let tf = b.transition("fork");
+        b.flow_st(s0, tf);
+        b.flow_ts(tf, sa);
+        b.flow_ts(tf, sb);
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let report = check_properly_designed(&g);
+        assert!(!report.is_proper());
+        assert_eq!(report.shared_resources.len(), 1);
+        let sr = &report.shared_resources[0];
+        assert_eq!((sr.s1, sr.s2), (sa, sb));
+        assert!(!sr.arcs.is_empty());
+    }
+
+    #[test]
+    fn unsafe_net_flagged() {
+        let mut b = EtpnBuilder::new();
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        let s2 = b.place("s2");
+        let t0 = b.transition("t0");
+        b.flow_st(s0, t0);
+        b.flow_ts(t0, s1);
+        b.flow_ts(t0, s2);
+        let t1 = b.transition("t1");
+        b.flow_st(s1, t1);
+        b.flow_ts(t1, s0);
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let report = check_properly_designed_with(&g, 64);
+        assert_ne!(report.safety, SafetyVerdict::Safe);
+        assert!(!report.is_proper());
+    }
+
+    #[test]
+    fn unguarded_branch_flagged() {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let r = b.register("r");
+        let a = b.connect(b.out_port(x, 0), b.in_port(r, 0));
+        let s0 = b.place("s0");
+        b.control(s0, [a]);
+        let s1 = b.place("s1");
+        let s2 = b.place("s2");
+        b.seq(s0, s1, "t1");
+        b.seq(s0, s2, "t2");
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let report = check_properly_designed(&g);
+        assert!(!report.is_proper());
+        assert!(report.conflicts.iter().any(|c| !c.proven_exclusive));
+    }
+
+    #[test]
+    fn pure_combinational_state_flagged() {
+        let mut b = EtpnBuilder::new();
+        let c = b.constant(1, "c");
+        let p = b.operator(Op::Pass, 1, "p");
+        let a = b.connect(b.out_port(c, 0), b.in_port(p, 0));
+        let s0 = b.place("s0");
+        b.control(s0, [a]);
+        let s1 = b.place("s1");
+        b.seq(s0, s1, "t");
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let report = check_properly_designed(&g);
+        assert_eq!(report.no_sequential, vec![s0]);
+        assert!(!report.is_proper());
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion benches for the static analyses (E7 table): order-relation
+//! closures, data dependence, the properly-designed suite, reachability,
+//! and P-invariants, over random structured nets of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etpn_analysis::{check_properly_designed_with, p_invariants, DataDependence, ReachGraph};
+use etpn_core::ControlRelations;
+use etpn_workloads::random_net;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_analysis");
+    group.sample_size(10);
+    for &n in &[32usize, 128, 512] {
+        let g = random_net(17, n);
+        group.bench_with_input(BenchmarkId::new("closure", n), &g, |b, g| {
+            b.iter(|| ControlRelations::compute(&g.ctl))
+        });
+        group.bench_with_input(BenchmarkId::new("acyclic_closure", n), &g, |b, g| {
+            b.iter(|| ControlRelations::compute_acyclic(&g.ctl))
+        });
+        group.bench_with_input(BenchmarkId::new("datadep", n), &g, |b, g| {
+            b.iter(|| DataDependence::compute(g))
+        });
+        group.bench_with_input(BenchmarkId::new("reach", n), &g, |b, g| {
+            b.iter(|| ReachGraph::explore(&g.ctl, 1 << 18))
+        });
+        group.bench_with_input(BenchmarkId::new("p_invariants", n), &g, |b, g| {
+            b.iter(|| p_invariants(&g.ctl))
+        });
+        if n <= 128 {
+            group.bench_with_input(BenchmarkId::new("proper_suite", n), &g, |b, g| {
+                b.iter(|| check_properly_designed_with(g, 1 << 16))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

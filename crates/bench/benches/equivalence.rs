@@ -1,0 +1,56 @@
+//! Criterion benches for the E1/E2/E10 kernels: the randomized semantic
+//! oracle and the determinism battery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etpn_bench::seqgen::{random_sequence, Family};
+use etpn_transform::{check_data_invariant, semantic_oracle, OracleConfig};
+use etpn_workloads::by_name;
+
+fn oracle_cfg() -> OracleConfig {
+    OracleConfig {
+        environments: 2,
+        stream_len: 6,
+        policy_seeds: 1,
+        max_steps: 10_000,
+        value_min: -32,
+        value_max: 32,
+        threads: 1,
+    }
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_e2_oracle");
+    group.sample_size(10);
+    for name in ["diffeq", "gcd"] {
+        let w = by_name(name).unwrap();
+        let g0 = etpn_synth::compile_source(&w.source).unwrap().etpn;
+        let (g_di, _) = random_sequence(&g0, Family::DataInvariant, 1, 6);
+        let (g_ci, _) = random_sequence(&g0, Family::ControlInvariant, 1, 6);
+        group.bench_function(format!("{name}/data_invariant"), |b| {
+            b.iter(|| semantic_oracle(&g0, &g_di, oracle_cfg()))
+        });
+        group.bench_function(format!("{name}/control_invariant"), |b| {
+            b.iter(|| semantic_oracle(&g0, &g_ci, oracle_cfg()))
+        });
+        group.bench_function(format!("{name}/def45_structural"), |b| {
+            b.iter(|| check_data_invariant(&g0, &g_di))
+        });
+    }
+    group.finish();
+}
+
+fn bench_determinism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_determinism");
+    group.sample_size(10);
+    let w = by_name("gcd").unwrap();
+    let d = etpn_synth::compile_source(&w.source).unwrap();
+    group.bench_function("gcd_battery", |b| {
+        b.iter(|| {
+            etpn_sim::check_determinism_with(&d.etpn, &w.env(), 2, w.max_steps, &d.reg_inits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle, bench_determinism);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for the classic scheduling baselines (E6 table):
+//! ASAP, ALAP, and resource-constrained list scheduling over the benchmark
+//! loop-body DFGs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etpn_lang::Stmt;
+use etpn_synth::dfg::{default_latency, dfg_from_block, Dfg, ResourceClass};
+use etpn_workloads::by_name;
+use std::collections::HashMap;
+
+fn body_dfg(name: &str) -> Dfg {
+    let prog = by_name(name).unwrap().program();
+    let block = prog
+        .body
+        .iter()
+        .find_map(|s| match s {
+            Stmt::While { body, .. }
+                if body.iter().all(|st| matches!(st, Stmt::Assign { .. })) =>
+            {
+                Some(body.clone())
+            }
+            _ => None,
+        })
+        .expect("straight-line loop body");
+    dfg_from_block(&block).unwrap()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_schedulers");
+    for name in ["diffeq", "ewf", "fir16", "ar_lattice"] {
+        let dfg = body_dfg(name);
+        group.bench_function(format!("{name}/asap"), |b| {
+            b.iter(|| dfg.asap(&default_latency))
+        });
+        group.bench_function(format!("{name}/alap"), |b| {
+            let (_, span) = dfg.asap(&default_latency);
+            b.iter(|| dfg.alap(&default_latency, span))
+        });
+        let caps: HashMap<ResourceClass, usize> = [
+            (ResourceClass::Multiplier, 2),
+            (ResourceClass::Alu, 2),
+            (ResourceClass::Logic, 2),
+            (ResourceClass::Divider, 1),
+        ]
+        .into_iter()
+        .collect();
+        group.bench_function(format!("{name}/list_2m2a"), |b| {
+            b.iter(|| dfg.list_schedule(&default_latency, &caps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for the synthesis pipeline (E4/E5/E8 tables):
+//! compilation, the full pipeline per objective, and the two
+//! move-selection strategies at a fixed budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etpn_synth::{
+    compile_source, synthesize, ModuleLibrary, MoveSelection, Objective, Optimizer,
+};
+use etpn_transform::Rewriter;
+use etpn_workloads::by_name;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_compile");
+    for name in ["diffeq", "ewf", "fir16", "gcd", "ar_lattice"] {
+        let w = by_name(name).unwrap();
+        group.bench_function(name, |b| b.iter(|| compile_source(&w.source).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_pipeline");
+    group.sample_size(10);
+    let lib = ModuleLibrary::standard();
+    for name in ["diffeq", "gcd"] {
+        let w = by_name(name).unwrap();
+        for (label, obj) in [
+            ("min_delay", Objective::MinDelay { max_area: None }),
+            ("min_area", Objective::MinArea { max_latency: None }),
+        ] {
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| synthesize(&w.source, obj, &lib).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_strategies");
+    group.sample_size(10);
+    let lib = ModuleLibrary::standard();
+    let w = by_name("diffeq").unwrap();
+    let g0 = compile_source(&w.source).unwrap().etpn;
+    for (label, strategy) in [
+        ("cp_guided", MoveSelection::CriticalPathGuided),
+        ("random", MoveSelection::Random { seed: 1 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || Rewriter::new(g0.clone()),
+                |mut rw| {
+                    Optimizer::new(lib.clone(), Objective::MinDelay { max_area: None })
+                        .with_strategy(strategy)
+                        .with_budget(150)
+                        .optimize(&mut rw)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_pipeline, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for the transformation kernels (E3 table): applying
+//! and checking parallelise, serialise, reorder, merge, split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etpn_analysis::DataDependence;
+use etpn_core::Etpn;
+use etpn_transform::{Parallelizer, Serializer, Transform, VertexMerger};
+use etpn_workloads::by_name;
+
+fn base(name: &str) -> Etpn {
+    let w = by_name(name).unwrap();
+    etpn_synth::compile_source(&w.source).unwrap().etpn
+}
+
+/// First legal parallelise pair of the design.
+fn first_par_pair(g: &Etpn) -> Option<(etpn_core::PlaceId, etpn_core::PlaceId)> {
+    let dd = DataDependence::compute(g);
+    let par = Parallelizer::new(&dd);
+    g.ctl
+        .transitions()
+        .iter()
+        .filter(|(_, tr)| tr.guards.is_empty() && tr.pre.len() == 1 && tr.post.len() == 1)
+        .map(|(_, tr)| (tr.pre[0], tr.post[0]))
+        .find(|&(a, b)| par.check(g, a, b).is_ok())
+}
+
+fn bench_data_invariant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_data_invariant");
+    for name in ["ewf", "fir16"] {
+        let g = base(name);
+        let (a, b_) = first_par_pair(&g).expect("a legal pair exists");
+        group.bench_function(format!("{name}/parallelize"), |bch| {
+            bch.iter_batched(
+                || g.clone(),
+                |mut gg| {
+                    let dd = DataDependence::compute(&gg);
+                    Parallelizer::new(&dd).apply(&mut gg, a, b_).unwrap();
+                    gg
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("{name}/roundtrip"), |bch| {
+            bch.iter_batched(
+                || g.clone(),
+                |mut gg| {
+                    let dd = DataDependence::compute(&gg);
+                    Parallelizer::new(&dd).apply(&mut gg, a, b_).unwrap();
+                    Serializer::apply(&mut gg, a, b_).unwrap();
+                    gg
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("{name}/datadep_compute"), |bch| {
+            bch.iter(|| DataDependence::compute(&g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_control_invariant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_control_invariant");
+    for name in ["ewf", "ar_lattice"] {
+        let g = base(name);
+        let cands = VertexMerger::candidates(&g);
+        group.bench_function(format!("{name}/merge_candidates"), |bch| {
+            bch.iter(|| VertexMerger::candidates(&g))
+        });
+        if let Some(&(vi, vj)) = cands.first() {
+            group.bench_function(format!("{name}/merge_apply"), |bch| {
+                bch.iter_batched(
+                    || g.clone(),
+                    |mut gg| {
+                        Transform::Merge(vi, vj).apply(&mut gg).unwrap();
+                        gg
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_data_invariant, bench_control_invariant);
+criterion_main!(benches);

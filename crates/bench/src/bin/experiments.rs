@@ -1,0 +1,51 @@
+//! The experiment runner: prints every EXPERIMENTS.md table.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [--markdown] [--json FILE] [E1 E2 … | all]
+//! ```
+
+use etpn_bench::{run_all, run_one, Scale, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut markdown = false;
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--markdown" => markdown = true,
+            "--json" => json_path = it.next(),
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [--markdown] [--json FILE] [E1 …]");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let tables: Vec<Table> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        run_all(scale)
+    } else {
+        ids.iter()
+            .map(|id| run_one(id, scale).unwrap_or_else(|| panic!("unknown experiment `{id}`")))
+            .collect()
+    };
+
+    for t in &tables {
+        if markdown {
+            println!("{}", t.render_markdown());
+        } else {
+            println!("{}", t.render());
+        }
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&tables).expect("tables serialise");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,102 @@
+//! **E3 — parallelisation shortens schedules until data dependence binds.**
+//!
+//! Each benchmark is compiled to its maximally serial design and optimised
+//! for minimum delay (unbounded area). Reported per workload: measured
+//! makespan in control steps (simulation under the representative inputs)
+//! before and after, the static latency bound before and after, and the
+//! number of parallelise moves applied. Expected shape: real speedups on
+//! the wide filters (FIR, EWF, AR), modest ones on the recurrence-bound
+//! diffeq, none on the branch-serial GCD.
+
+use crate::table::Table;
+use crate::Scale;
+use etpn_core::Etpn;
+use etpn_sim::Simulator;
+use etpn_synth::{synthesize, ModuleLibrary, Objective};
+use etpn_transform::{Parallelizer, Transform};
+use etpn_workloads::{catalog, Workload};
+
+/// Measured makespan (control steps) of a design under the workload's
+/// representative environment.
+pub fn makespan(w: &Workload, g: &Etpn, reg_inits: &[(String, i64)]) -> u64 {
+    let mut sim = Simulator::new(g, w.env());
+    for (n, v) in reg_inits {
+        sim = sim.init_register(n, *v);
+    }
+    sim.run(w.max_steps)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        .steps
+}
+
+/// Run E3.
+pub fn run(_scale: Scale) -> Table {
+    let lib = ModuleLibrary::standard();
+    let mut table = Table::new(
+        "E3",
+        "parallelisation: serial vs min-delay design",
+        &[
+            "workload",
+            "steps serial",
+            "steps optimizer",
+            "steps saturated",
+            "speedup",
+            "bound serial",
+            "bound final",
+            "par moves",
+        ],
+    );
+    for w in catalog() {
+        let res = synthesize(&w.source, Objective::MinDelay { max_area: None }, &lib)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let steps_serial = makespan(&w, &res.compiled.etpn, &res.compiled.reg_inits);
+        let steps_par = makespan(&w, &res.optimized, &res.compiled.reg_inits);
+        // Dependence-bound schedule: saturate parallelise+widen outright.
+        let mut saturated = res.compiled.etpn.clone();
+        let dd = etpn_analysis::DataDependence::compute(&saturated);
+        Parallelizer::new(&dd).saturate(&mut saturated);
+        let steps_sat = makespan(&w, &saturated, &res.compiled.reg_inits);
+        let par_moves = res
+            .transform_log
+            .iter()
+            .filter(|t| matches!(t, Transform::Parallelize(_, _) | Transform::Widen(_)))
+            .count();
+        table.row([
+            w.name.to_string(),
+            steps_serial.to_string(),
+            steps_par.to_string(),
+            steps_sat.to_string(),
+            format!("{:.2}x", steps_serial as f64 / steps_sat.max(1) as f64),
+            res.initial_cost.latency_bound.to_string(),
+            res.final_cost.latency_bound.to_string(),
+            par_moves.to_string(),
+        ]);
+    }
+    table.interpret(
+        "speedup saturates at the data-dependence bound: wide filters gain, \
+         the GCD branch chain cannot; the cost-guided optimizer stops \
+         earlier when its latency bound no longer improves",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_shapes_hold() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), etpn_workloads::catalog().len());
+        // The filters must speed up; nothing may slow down.
+        for row in &t.rows {
+            let serial: u64 = row[1].parse().unwrap();
+            let par: u64 = row[2].parse().unwrap();
+            let sat: u64 = row[3].parse().unwrap();
+            assert!(par <= serial, "{row:?}");
+            assert!(sat <= par, "saturation is at least as parallel: {row:?}");
+            if row[0] == "fir16" || row[0] == "ar_lattice" {
+                assert!(sat < serial, "filter should parallelise: {row:?}");
+            }
+        }
+    }
+}

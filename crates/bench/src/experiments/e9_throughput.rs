@@ -1,0 +1,109 @@
+//! **E9 — simulator throughput.**
+//!
+//! Control steps per second and external events per second, over the
+//! benchmark designs (representative inputs, run repeatedly) and over
+//! random structured nets of growing size (cyclic variants for sustained
+//! execution). Shape: per-step cost scales with the active-port count;
+//! steps/s falls roughly linearly in design size.
+
+use crate::table::Table;
+use crate::Scale;
+use etpn_core::Etpn;
+use etpn_sim::{ScriptedEnv, Simulator};
+use etpn_workloads::{catalog, random_net};
+use std::time::Instant;
+
+/// Make a random net cyclic: loop the terminal transition back to start.
+fn cyclic_net(seed: u64, n: usize) -> Etpn {
+    let mut g = random_net(seed, n);
+    // `random_net` ends with a token-consuming `t_end`; wire it back to the
+    // first place to keep the net running forever.
+    let t_end = g
+        .ctl
+        .transitions()
+        .iter()
+        .find(|(_, tr)| tr.post.is_empty())
+        .map(|(t, _)| t)
+        .expect("random nets have a terminal transition");
+    let first = g.ctl.initial_places()[0];
+    g.ctl.flow_ts(t_end, first).expect("fresh flow edge");
+    g
+}
+
+/// Run E9.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E9",
+        "simulator throughput",
+        &["design", "|S|", "ports", "steps", "steps/s", "events/s"],
+    );
+    // Benchmarks: run their representative input repeatedly.
+    let reps = scale.n(3, 20) as u64;
+    for w in catalog() {
+        let d = etpn_synth::compile_source(&w.source).unwrap();
+        let mut steps = 0u64;
+        let mut events = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut sim = Simulator::new(&d.etpn, w.env());
+            for (n, v) in &d.reg_inits {
+                sim = sim.init_register(n, *v);
+            }
+            let trace = sim.run(w.max_steps).unwrap();
+            steps += trace.steps;
+            events += trace.event_count() as u64;
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        table.row([
+            w.name.to_string(),
+            d.etpn.ctl.places().len().to_string(),
+            d.etpn.dp.ports().len().to_string(),
+            steps.to_string(),
+            format!("{:.0}", steps as f64 / dt),
+            format!("{:.0}", events as f64 / dt),
+        ]);
+    }
+    // Random cyclic nets: sustained stepping.
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[32, 128],
+        Scale::Full => &[32, 128, 512, 1024],
+    };
+    let budget = scale.n(2_000, 50_000) as u64;
+    for &n in sizes {
+        let g = cyclic_net(23, n);
+        let t0 = Instant::now();
+        let trace = Simulator::new(&g, ScriptedEnv::new()).run(budget).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        table.row([
+            format!("random{n}"),
+            g.ctl.places().len().to_string(),
+            g.dp.ports().len().to_string(),
+            trace.steps.to_string(),
+            format!("{:.0}", trace.steps as f64 / dt),
+            format!("{:.0}", trace.event_count() as f64 / dt),
+        ]);
+    }
+    table.interpret("steps/s falls roughly linearly with design size");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_measures_positive_throughput() {
+        let t = run(Scale::Quick);
+        for row in &t.rows {
+            let sps: f64 = row[4].parse().unwrap();
+            assert!(sps > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn cyclic_net_runs_to_budget() {
+        let g = cyclic_net(1, 16);
+        let trace = Simulator::new(&g, ScriptedEnv::new()).run(500).unwrap();
+        assert_eq!(trace.steps, 500);
+    }
+}

@@ -1,0 +1,68 @@
+//! The experiment suite: one module per EXPERIMENTS.md table.
+//!
+//! Every experiment is a pure function `run(scale) -> Table`, shared by the
+//! `experiments` binary, the Criterion benches, and the harness tests.
+
+pub mod e1_e2_equivalence;
+pub mod e3_parallelize;
+pub mod e4_pareto;
+pub mod e5_synthesis;
+pub mod e6_baselines;
+pub mod e7_scaling;
+pub mod e8_ablation;
+pub mod e9_throughput;
+pub mod e10_determinism;
+
+use crate::table::Table;
+
+/// Experiment scale.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Reduced seeds/sizes — used by the harness tests.
+    Quick,
+    /// The full published configuration.
+    Full,
+}
+
+impl Scale {
+    /// Scale a count down in quick mode.
+    pub fn n(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Run every experiment in order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    vec![
+        e1_e2_equivalence::run_e1(scale),
+        e1_e2_equivalence::run_e2(scale),
+        e3_parallelize::run(scale),
+        e4_pareto::run(scale),
+        e5_synthesis::run(scale),
+        e6_baselines::run(scale),
+        e7_scaling::run(scale),
+        e8_ablation::run(scale),
+        e9_throughput::run(scale),
+        e10_determinism::run(scale),
+    ]
+}
+
+/// Run one experiment by id (`"E1"`, `"e4"`, …).
+pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
+    Some(match id.to_ascii_uppercase().as_str() {
+        "E1" => e1_e2_equivalence::run_e1(scale),
+        "E2" => e1_e2_equivalence::run_e2(scale),
+        "E3" => e3_parallelize::run(scale),
+        "E4" => e4_pareto::run(scale),
+        "E5" => e5_synthesis::run(scale),
+        "E6" => e6_baselines::run(scale),
+        "E7" => e7_scaling::run(scale),
+        "E8" => e8_ablation::run(scale),
+        "E9" => e9_throughput::run(scale),
+        "E10" => e10_determinism::run(scale),
+        _ => return None,
+    })
+}

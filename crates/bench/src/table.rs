@@ -1,0 +1,127 @@
+//! Result tables: the rows the `experiments` binary prints and
+//! EXPERIMENTS.md records.
+
+use serde::Serialize;
+
+/// One experiment's result table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Experiment id (`E1` …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line interpretation of the observed shape.
+    pub interpretation: String,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            interpretation: String::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().collect();
+        debug_assert_eq!(row.len(), self.headers.len());
+        self.rows.push(row);
+    }
+
+    /// Set the interpretation line.
+    pub fn interpret(&mut self, text: impl Into<String>) {
+        self.interpretation = text.into();
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {}: {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        if !self.interpretation.is_empty() {
+            out.push_str(&format!("shape: {}\n", self.interpretation));
+        }
+        out
+    }
+
+    /// Render as a Markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("### {}: {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.interpretation.is_empty() {
+            out.push_str(&format!("\n*{}*\n", self.interpretation));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("E0", "demo", &["name", "value"]);
+        t.row(["short".to_string(), "1".to_string()]);
+        t.row(["a-much-longer-name".to_string(), "12345".to_string()]);
+        t.interpret("values increase");
+        let s = t.render();
+        assert!(s.contains("E0: demo"));
+        assert!(s.contains("a-much-longer-name"));
+        assert!(s.contains("shape: values increase"));
+    }
+
+    #[test]
+    fn markdown_form() {
+        let mut t = Table::new("E1", "md", &["a", "b"]);
+        t.row(["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn serialises_to_json() {
+        let mut t = Table::new("E1", "j", &["a"]);
+        t.row(["x".into()]);
+        let j = serde_json::to_value(&t).unwrap();
+        assert_eq!(j["id"], "E1");
+        assert_eq!(j["rows"][0][0], "x");
+    }
+}

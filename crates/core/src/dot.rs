@@ -1,0 +1,143 @@
+//! Graphviz DOT export of the two sub-models.
+//!
+//! The paper stresses that the model "allows graphical representations of
+//! the structures as well as behaviors" (§6); these exporters render the
+//! data path as a port graph and the control structure in the usual
+//! place/transition notation, with the `C` mapping shown as dashed edges.
+
+use crate::etpn::Etpn;
+use crate::vertex::VertexKind;
+use std::fmt::Write;
+
+/// Render the data path as a DOT digraph.
+pub fn datapath_dot(g: &Etpn) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph datapath {{");
+    let _ = writeln!(s, "  rankdir=LR; node [fontsize=10];");
+    for (v, vx) in g.dp.vertices().iter() {
+        let (shape, color) = match vx.kind {
+            VertexKind::Input => ("invhouse", "lightblue"),
+            VertexKind::Output => ("house", "lightsalmon"),
+            VertexKind::Unit => {
+                if g.dp.is_sequential_vertex(v) {
+                    ("box", "lightyellow")
+                } else {
+                    ("ellipse", "white")
+                }
+            }
+        };
+        let ops: Vec<String> = vx
+            .outputs
+            .iter()
+            .map(|&p| g.dp.port(p).operation().to_string())
+            .collect();
+        let label = if ops.is_empty() {
+            vx.name.clone()
+        } else {
+            format!("{}\\n[{}]", vx.name, ops.join(","))
+        };
+        let _ = writeln!(
+            s,
+            "  {v} [label=\"{label}\", shape={shape}, style=filled, fillcolor={color}];"
+        );
+    }
+    for (a, arc) in g.dp.arcs().iter() {
+        let from_v = g.dp.port(arc.from).vertex;
+        let to_v = g.dp.port(arc.to).vertex;
+        let ctrl: Vec<String> = g
+            .ctl
+            .controllers_of(a)
+            .iter()
+            .map(|p| g.ctl.place(*p).name.clone())
+            .collect();
+        let label = if ctrl.is_empty() {
+            String::new()
+        } else {
+            ctrl.join(",")
+        };
+        let _ = writeln!(s, "  {from_v} -> {to_v} [label=\"{a} {label}\"];");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Render the control Petri net as a DOT digraph.
+pub fn control_dot(g: &Etpn) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph control {{");
+    let _ = writeln!(s, "  rankdir=TB; node [fontsize=10];");
+    for (p, place) in g.ctl.places().iter() {
+        let fill = if place.marked0 { "gray70" } else { "white" };
+        let marked = if place.marked0 { " ●" } else { "" };
+        let _ = writeln!(
+            s,
+            "  {p} [label=\"{}{marked}\", shape=circle, style=filled, fillcolor={fill}];",
+            place.name
+        );
+    }
+    for (t, trans) in g.ctl.transitions().iter() {
+        let guards: Vec<String> = trans.guards.iter().map(|g| g.to_string()).collect();
+        let glabel = if guards.is_empty() {
+            String::new()
+        } else {
+            format!("\\n[{}]", guards.join("|"))
+        };
+        let _ = writeln!(
+            s,
+            "  {t} [label=\"{}{glabel}\", shape=box, height=0.2, style=filled, fillcolor=black, fontcolor=white];",
+            trans.name
+        );
+        for &pre in &trans.pre {
+            let _ = writeln!(s, "  {pre} -> {t};");
+        }
+        for &post in &trans.post {
+            let _ = writeln!(s, "  {t} -> {post};");
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EtpnBuilder;
+
+    fn small() -> Etpn {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let r = b.register("r");
+        let y = b.output("y");
+        let load = b.connect(b.out_port(x, 0), b.in_port(r, 0));
+        let emit = b.connect(b.out_port(r, 0), b.in_port(y, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        b.control(s0, [load]);
+        b.control(s1, [emit]);
+        let t = b.seq(s0, s1, "t0");
+        b.guard(t, b.out_port(r, 0));
+        b.mark(s0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn datapath_dot_mentions_all_vertices() {
+        let g = small();
+        let dot = datapath_dot(&g);
+        assert!(dot.starts_with("digraph datapath {"));
+        for name in ["x", "r", "y"] {
+            assert!(dot.contains(name), "missing {name}:\n{dot}");
+        }
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn control_dot_shows_marking_and_guard() {
+        let g = small();
+        let dot = control_dot(&g);
+        assert!(dot.contains("●"), "initial marking rendered");
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains('['), "guard label rendered");
+    }
+}

@@ -1,0 +1,238 @@
+//! External events and external event structures (paper Defs. 3.4–3.6).
+//!
+//! An *external event* is a pair `(Ai, w)` — an external arc and the value
+//! passed over it — labelled with the control state whose marking made it
+//! happen. The *external event structure* `S(Γ) = (E, ≺, ≍)` collects all
+//! external events with their precedence (`≺`) and concurrency (`≍`)
+//! relations; by Def. 3.6 it **is** the semantics of the system, and
+//! `Γ ≡ Γ'` iff `S(Γ) = S(Γ')` (Def. 4.1).
+//!
+//! Events are canonically keyed by `(arc, occurrence index)` so structures
+//! obtained from different runs/designs can be compared for equality.
+
+use crate::ids::{ArcId, PlaceId};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed external event instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExternalEvent {
+    /// The external arc on which the event occurred.
+    pub arc: ArcId,
+    /// The value passed over the arc.
+    pub value: Value,
+    /// The control state labelling the event (Def. 3.4).
+    pub place: PlaceId,
+    /// The control step at which the event occurred (model time).
+    pub step: u64,
+}
+
+/// Canonical identity of an event across runs: the `k`-th event on arc `a`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventKey {
+    /// The external arc.
+    pub arc: ArcId,
+    /// Zero-based occurrence index on that arc.
+    pub k: u32,
+}
+
+/// The external event structure `S(Γ) = (E, ≺, ≍)` (Def. 3.5).
+///
+/// Two structures compare equal exactly when the event sets (as per-arc
+/// value sequences), the precedent relations, and the concurrent relations
+/// all coincide — the semantic equivalence of Def. 4.1.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventStructure {
+    /// `E`, organised as the value sequence observed on each external arc.
+    pub events: BTreeMap<ArcId, Vec<Value>>,
+    /// The precedent relation `≺` over canonical event keys.
+    pub precedent: BTreeSet<(EventKey, EventKey)>,
+    /// The concurrent relation `≍`, stored with `lhs < rhs`.
+    pub concurrent: BTreeSet<(EventKey, EventKey)>,
+}
+
+impl EventStructure {
+    /// An empty structure (no external events).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of events in `E`.
+    pub fn event_count(&self) -> usize {
+        self.events.values().map(Vec::len).sum()
+    }
+
+    /// The value sequence observed on one arc (empty if never active).
+    pub fn values_on(&self, arc: ArcId) -> &[Value] {
+        self.events.get(&arc).map_or(&[], Vec::as_slice)
+    }
+
+    /// Record one event occurrence, returning its canonical key.
+    pub fn push_event(&mut self, arc: ArcId, value: Value) -> EventKey {
+        let seq = self.events.entry(arc).or_default();
+        let key = EventKey {
+            arc,
+            k: seq.len() as u32,
+        };
+        seq.push(value);
+        key
+    }
+
+    /// Record `a ≺ b`.
+    pub fn add_precedent(&mut self, a: EventKey, b: EventKey) {
+        self.precedent.insert((a, b));
+    }
+
+    /// Record `a ≍ b` (symmetric; stored normalised).
+    pub fn add_concurrent(&mut self, a: EventKey, b: EventKey) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if lo != hi {
+            self.concurrent.insert((lo, hi));
+        }
+    }
+
+    /// True when `a ≺ b` holds.
+    pub fn precedes(&self, a: EventKey, b: EventKey) -> bool {
+        self.precedent.contains(&(a, b))
+    }
+
+    /// True when `a ≍ b` holds.
+    pub fn concurrent_with(&self, a: EventKey, b: EventKey) -> bool {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.concurrent.contains(&(lo, hi))
+    }
+
+    /// True when the two events are in neither `≺` nor `≍` — the *casual*
+    /// (free) relation of the paper: they may occur in any order.
+    pub fn casual(&self, a: EventKey, b: EventKey) -> bool {
+        a != b
+            && !self.precedes(a, b)
+            && !self.precedes(b, a)
+            && !self.concurrent_with(a, b)
+    }
+
+    /// Human-readable explanation of the first difference from `other`,
+    /// or `None` when the structures are equal. Used by the randomized
+    /// equivalence oracle to report counterexamples.
+    pub fn first_difference(&self, other: &EventStructure) -> Option<String> {
+        let arcs: BTreeSet<ArcId> = self
+            .events
+            .keys()
+            .chain(other.events.keys())
+            .copied()
+            .collect();
+        for arc in arcs {
+            let (a, b) = (self.values_on(arc), other.values_on(arc));
+            if a != b {
+                return Some(format!(
+                    "value sequences on arc {arc} differ: {a:?} vs {b:?}"
+                ));
+            }
+        }
+        if let Some(pair) = self.precedent.symmetric_difference(&other.precedent).next() {
+            let side = if self.precedent.contains(pair) {
+                "only lhs"
+            } else {
+                "only rhs"
+            };
+            return Some(format!(
+                "precedent pair {:?} ≺ {:?} present in {side}",
+                pair.0, pair.1
+            ));
+        }
+        if let Some(pair) = self
+            .concurrent
+            .symmetric_difference(&other.concurrent)
+            .next()
+        {
+            let side = if self.concurrent.contains(pair) {
+                "only lhs"
+            } else {
+                "only rhs"
+            };
+            return Some(format!(
+                "concurrent pair {:?} ≍ {:?} present in {side}",
+                pair.0, pair.1
+            ));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(arc: u32, k: u32) -> EventKey {
+        EventKey {
+            arc: ArcId::new(arc),
+            k,
+        }
+    }
+
+    #[test]
+    fn per_arc_sequences() {
+        let mut s = EventStructure::new();
+        let a = ArcId::new(0);
+        let k0 = s.push_event(a, Value::Def(1));
+        let k1 = s.push_event(a, Value::Def(2));
+        assert_eq!(k0, key(0, 0));
+        assert_eq!(k1, key(0, 1));
+        assert_eq!(s.values_on(a), &[Value::Def(1), Value::Def(2)]);
+        assert_eq!(s.event_count(), 2);
+        assert!(s.values_on(ArcId::new(5)).is_empty());
+    }
+
+    #[test]
+    fn relations_and_casual() {
+        let mut s = EventStructure::new();
+        let a = s.push_event(ArcId::new(0), Value::Def(1));
+        let b = s.push_event(ArcId::new(1), Value::Def(2));
+        let c = s.push_event(ArcId::new(2), Value::Def(3));
+        s.add_precedent(a, b);
+        s.add_concurrent(c, b);
+        assert!(s.precedes(a, b));
+        assert!(!s.precedes(b, a));
+        assert!(s.concurrent_with(b, c));
+        assert!(s.concurrent_with(c, b), "≍ is symmetric");
+        assert!(s.casual(a, c));
+        assert!(!s.casual(a, b));
+    }
+
+    #[test]
+    fn concurrent_is_irreflexive_and_normalised() {
+        let mut s = EventStructure::new();
+        let a = s.push_event(ArcId::new(0), Value::Def(1));
+        s.add_concurrent(a, a);
+        assert!(s.concurrent.is_empty());
+    }
+
+    #[test]
+    fn difference_reports_values_first() {
+        let mut s1 = EventStructure::new();
+        let mut s2 = EventStructure::new();
+        s1.push_event(ArcId::new(0), Value::Def(1));
+        s2.push_event(ArcId::new(0), Value::Def(9));
+        let d = s1.first_difference(&s2).unwrap();
+        assert!(d.contains("value sequences"), "{d}");
+        assert_eq!(s1.first_difference(&s1), None);
+    }
+
+    #[test]
+    fn difference_reports_relation_mismatch() {
+        let mut s1 = EventStructure::new();
+        let mut s2 = EventStructure::new();
+        let a1 = s1.push_event(ArcId::new(0), Value::Def(1));
+        let b1 = s1.push_event(ArcId::new(1), Value::Def(2));
+        let a2 = s2.push_event(ArcId::new(0), Value::Def(1));
+        let b2 = s2.push_event(ArcId::new(1), Value::Def(2));
+        s1.add_precedent(a1, b1);
+        s2.add_concurrent(a2, b2);
+        let d = s1.first_difference(&s2).unwrap();
+        assert!(d.contains("precedent"), "{d}");
+        assert_ne!(s1, s2);
+    }
+}

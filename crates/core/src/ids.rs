@@ -1,0 +1,107 @@
+//! Typed index newtypes for every object class of the model.
+//!
+//! All model objects (vertices, ports, arcs, places, transitions) live in
+//! [`TypedVec`](crate::arena::TypedVec) arenas and are referred to by compact
+//! `u32` ids. The newtypes prevent cross-arena index confusion at compile
+//! time at zero runtime cost.
+
+/// Trait implemented by all arena index newtypes.
+pub trait Id: Copy + Eq + Ord + std::hash::Hash + std::fmt::Debug {
+    /// Construct from a raw index.
+    fn from_usize(i: usize) -> Self;
+    /// The raw index.
+    fn index(self) -> usize;
+}
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        #[cfg_attr(feature = "serde", serde(transparent))]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw `u32`.
+            #[inline]
+            pub const fn new(i: u32) -> Self {
+                Self(i)
+            }
+            /// The raw index as `usize`.
+            #[inline]
+            pub const fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl Id for $name {
+            #[inline]
+            fn from_usize(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                Self(i as u32)
+            }
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a data-path vertex (a data-manipulation unit, paper Def. 2.1).
+    VertexId,
+    "v"
+);
+define_id!(
+    /// Index of a data-path port (an element of `P = I ∪ O`).
+    PortId,
+    "p"
+);
+define_id!(
+    /// Index of a data-path arc (a connection `(O, I)`, paper Def. 2.1).
+    ArcId,
+    "a"
+);
+define_id!(
+    /// Index of a control place / S-element (a control state, paper Def. 2.2).
+    PlaceId,
+    "s"
+);
+define_id!(
+    /// Index of a control transition / T-element (paper Def. 2.2).
+    TransId,
+    "t"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let v = VertexId::from_usize(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId::new(42));
+        assert_eq!(format!("{v}"), "v42");
+        assert_eq!(format!("{v:?}"), "v42");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(PlaceId::new(1) < PlaceId::new(2));
+        assert_eq!(TransId::new(7).idx(), 7);
+    }
+}

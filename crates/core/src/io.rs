@@ -1,0 +1,102 @@
+//! Design persistence: JSON save/load for complete systems.
+//!
+//! Designs round-trip losslessly — every arena slot (including tombstones,
+//! so ids stay stable), the control mapping, guards, and the initial
+//! marking. Useful for checkpointing synthesis runs and for shipping the
+//! benchmark designs as artefacts.
+
+use crate::error::{CoreError, CoreResult};
+use crate::etpn::Etpn;
+
+/// Serialise a design to pretty JSON.
+pub fn to_json(g: &Etpn) -> CoreResult<String> {
+    serde_json::to_string_pretty(g)
+        .map_err(|e| CoreError::Invalid(format!("serialising design: {e}")))
+}
+
+/// Deserialise a design from JSON and validate it structurally.
+pub fn from_json(json: &str) -> CoreResult<Etpn> {
+    let g: Etpn = serde_json::from_str(json)
+        .map_err(|e| CoreError::Invalid(format!("parsing design JSON: {e}")))?;
+    g.validate()?;
+    Ok(g)
+}
+
+/// Write a design to a file.
+pub fn save(g: &Etpn, path: &str) -> CoreResult<()> {
+    std::fs::write(path, to_json(g)?)
+        .map_err(|e| CoreError::Invalid(format!("writing {path}: {e}")))
+}
+
+/// Read a design from a file.
+pub fn load(path: &str) -> CoreResult<Etpn> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| CoreError::Invalid(format!("reading {path}: {e}")))?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EtpnBuilder;
+    use crate::op::Op;
+
+    fn sample() -> Etpn {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let add = b.operator(Op::Add, 2, "add");
+        let r = b.register("r");
+        let y = b.output("y");
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(add, 0));
+        let a1 = b.connect(b.out_port(x, 0), b.in_port(add, 1));
+        let a2 = b.connect(b.out_port(add, 0), b.in_port(r, 0));
+        let a3 = b.connect(b.out_port(r, 0), b.in_port(y, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        b.control(s0, [a0, a1, a2]);
+        b.control(s1, [a3]);
+        let t = b.seq(s0, s1, "t");
+        b.guard(t, b.out_port(add, 0));
+        b.mark(s0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let g = sample();
+        let json = to_json(&g).unwrap();
+        let g2 = from_json(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_tombstones() {
+        let mut g = sample();
+        // Remove a vertex so a tombstone exists; ids must stay aligned.
+        let lone = g.dp.add_unit("lone", 1, &[Op::Pass]).unwrap();
+        g.dp.remove_vertex(lone).unwrap();
+        let marker = g.dp.add_register("after_tombstone");
+        let json = to_json(&g).unwrap();
+        let g2 = from_json(&json).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.dp.vertex(marker).name, "after_tombstone");
+        assert!(g2.dp.vertices().get(lone).is_none());
+    }
+
+    #[test]
+    fn corrupted_json_rejected() {
+        assert!(from_json("{\"dp\": 42}").is_err());
+        assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let path = std::env::temp_dir().join("etpn_io_test.json");
+        let path = path.to_str().unwrap();
+        save(&g, path).unwrap();
+        let g2 = load(path).unwrap();
+        assert_eq!(g, g2);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,84 @@
+//! Ports: the abstraction of a unit's input/output behaviour (paper §2).
+//!
+//! "The notion of ports … separates the implementation of the operation
+//! associated with the vertices from the specification." Each port belongs to
+//! exactly one vertex; the sets `I` and `O` are disjoint by construction
+//! (ports carry a direction tag and the arenas never confuse them).
+
+use crate::ids::VertexId;
+use crate::op::Op;
+
+/// Port direction: member of `I` or of `O`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Dir {
+    /// An input port (element of `I`).
+    In,
+    /// An output port (element of `O`).
+    Out,
+}
+
+/// A single port of a data-path vertex.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Port {
+    /// Owning vertex.
+    pub vertex: VertexId,
+    /// Direction (input or output).
+    pub dir: Dir,
+    /// Position within the owning vertex's input or output port list.
+    pub index: u16,
+    /// For output ports, the operation `B(O)` defining the functional
+    /// relation to the vertex's input ports. `None` for input ports.
+    pub op: Option<Op>,
+}
+
+impl Port {
+    /// True iff this is an output port.
+    #[inline]
+    pub fn is_output(&self) -> bool {
+        self.dir == Dir::Out
+    }
+
+    /// True iff this is an input port.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        self.dir == Dir::In
+    }
+
+    /// The operation of an output port; panics on input ports.
+    #[inline]
+    pub fn operation(&self) -> Op {
+        self.op.expect("input ports carry no operation")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_predicates() {
+        let p = Port {
+            vertex: VertexId::new(0),
+            dir: Dir::Out,
+            index: 0,
+            op: Some(Op::Add),
+        };
+        assert!(p.is_output());
+        assert!(!p.is_input());
+        assert_eq!(p.operation(), Op::Add);
+    }
+
+    #[test]
+    #[should_panic(expected = "input ports carry no operation")]
+    fn input_port_has_no_operation() {
+        let p = Port {
+            vertex: VertexId::new(0),
+            dir: Dir::In,
+            index: 0,
+            op: None,
+        };
+        let _ = p.operation();
+    }
+}

@@ -1,0 +1,251 @@
+//! The abstract syntax of the behavioural description language.
+//!
+//! A `design` declares external `in`/`out` ports and `reg` storage, then a
+//! statement list: assignments, `if`/`else`, `while`, and `par { … }`
+//! blocks whose branches execute concurrently. This is the "algorithmic
+//! description of behaviour" that §5's synthesis pipeline starts from.
+
+/// Binary operators, in source syntax order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    Not,
+    /// `!` — logical not (`x == 0`).
+    LNot,
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Reference to an `in` port or `reg`.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? then : else` — a multiplexer.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `target = expr;` — target is a `reg` or an `out` port.
+    Assign {
+        /// Assignment target name.
+        target: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `if (cond) { … } else { … }`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then-branch statements.
+        then_body: Vec<Stmt>,
+        /// Else-branch statements (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `par { { … } { … } … }` — concurrent branches.
+    Par(Vec<Vec<Stmt>>),
+}
+
+/// A register declaration with optional reset value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegDecl {
+    /// Register name.
+    pub name: String,
+    /// Optional initial value (`reg r = 5;`).
+    pub init: Option<i64>,
+}
+
+/// A complete design.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Design name.
+    pub name: String,
+    /// Input port names, in declaration order.
+    pub inputs: Vec<String>,
+    /// Output port names, in declaration order.
+    pub outputs: Vec<String>,
+    /// Register declarations, in declaration order.
+    pub regs: Vec<RegDecl>,
+    /// Top-level statement list.
+    pub body: Vec<Stmt>,
+}
+
+impl Expr {
+    /// Walk all variable references.
+    pub fn visit_vars(&self, f: &mut impl FnMut(&str)) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => f(v),
+            Expr::Unary(_, e) => e.visit_vars(f),
+            Expr::Binary(_, a, b) => {
+                a.visit_vars(f);
+                b.visit_vars(f);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.visit_vars(f);
+                a.visit_vars(f);
+                b.visit_vars(f);
+            }
+        }
+    }
+
+    /// Count operator nodes (cost proxy used by reports).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Unary(_, e) => 1 + e.op_count(),
+            Expr::Binary(_, a, b) => 1 + a.op_count() + b.op_count(),
+            Expr::Ternary(c, a, b) => 1 + c.op_count() + a.op_count() + b.op_count(),
+        }
+    }
+}
+
+impl Stmt {
+    /// Visit this statement and all nested statements.
+    pub fn visit(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Assign { .. } => {}
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for s in then_body.iter().chain(else_body) {
+                    s.visit(f);
+                }
+            }
+            Stmt::While { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            Stmt::Par(branches) => {
+                for b in branches {
+                    for s in b {
+                        s.visit(f);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Program {
+    /// Total number of assignment statements (≈ operation count).
+    pub fn assignment_count(&self) -> usize {
+        let mut n = 0;
+        for s in &self.body {
+            s.visit(&mut |st| {
+                if matches!(st, Stmt::Assign { .. }) {
+                    n += 1;
+                }
+            });
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_vars_collects_all() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Ternary(
+                Box::new(Expr::Var("c".into())),
+                Box::new(Expr::Const(1)),
+                Box::new(Expr::Unary(UnOp::Neg, Box::new(Expr::Var("b".into())))),
+            )),
+        );
+        let mut vars = Vec::new();
+        e.visit_vars(&mut |v| vars.push(v.to_string()));
+        assert_eq!(vars, vec!["a", "c", "b"]);
+        assert_eq!(e.op_count(), 3);
+    }
+
+    #[test]
+    fn assignment_count_recurses() {
+        let p = Program {
+            name: "t".into(),
+            inputs: vec![],
+            outputs: vec![],
+            regs: vec![],
+            body: vec![
+                Stmt::Assign {
+                    target: "r".into(),
+                    expr: Expr::Const(1),
+                },
+                Stmt::While {
+                    cond: Expr::Var("r".into()),
+                    body: vec![Stmt::Par(vec![
+                        vec![Stmt::Assign {
+                            target: "r".into(),
+                            expr: Expr::Const(2),
+                        }],
+                        vec![Stmt::Assign {
+                            target: "r".into(),
+                            expr: Expr::Const(3),
+                        }],
+                    ])],
+                },
+            ],
+        };
+        assert_eq!(p.assignment_count(), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Semantic checking of parsed programs.
+//!
+//! Verifies before compilation: all referenced names are declared, inputs
+//! are never assigned, outputs are never read, no name is declared twice,
+//! and `par` branches do not write the same register (which would violate
+//! Def. 3.2(1) after compilation).
+
+use crate::ast::{Program, Stmt};
+use crate::error::LangError;
+use std::collections::HashSet;
+
+/// Run all semantic checks.
+pub fn check(prog: &Program) -> Result<(), LangError> {
+    let mut names: HashSet<&str> = HashSet::new();
+    for n in prog
+        .inputs
+        .iter()
+        .chain(&prog.outputs)
+        .chain(prog.regs.iter().map(|r| &r.name))
+    {
+        if !names.insert(n) {
+            return Err(LangError::Semantic(format!("`{n}` declared twice")));
+        }
+    }
+    let inputs: HashSet<&str> = prog.inputs.iter().map(String::as_str).collect();
+    let outputs: HashSet<&str> = prog.outputs.iter().map(String::as_str).collect();
+    let regs: HashSet<&str> = prog.regs.iter().map(|r| r.name.as_str()).collect();
+
+    fn check_stmts(
+        stmts: &[Stmt],
+        inputs: &HashSet<&str>,
+        outputs: &HashSet<&str>,
+        regs: &HashSet<&str>,
+    ) -> Result<(), LangError> {
+        for s in stmts {
+            match s {
+                Stmt::Assign { target, expr } => {
+                    if inputs.contains(target.as_str()) {
+                        return Err(LangError::Semantic(format!(
+                            "cannot assign to input `{target}`"
+                        )));
+                    }
+                    if !outputs.contains(target.as_str()) && !regs.contains(target.as_str()) {
+                        return Err(LangError::Semantic(format!(
+                            "assignment target `{target}` is not declared"
+                        )));
+                    }
+                    let mut err = None;
+                    expr.visit_vars(&mut |v| {
+                        if err.is_some() {
+                            return;
+                        }
+                        if outputs.contains(v) {
+                            err = Some(format!("output `{v}` cannot be read"));
+                        } else if !inputs.contains(v) && !regs.contains(v) {
+                            err = Some(format!("`{v}` is not declared"));
+                        }
+                    });
+                    if let Some(m) = err {
+                        return Err(LangError::Semantic(m));
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    check_expr(cond, inputs, outputs, regs)?;
+                    check_stmts(then_body, inputs, outputs, regs)?;
+                    check_stmts(else_body, inputs, outputs, regs)?;
+                }
+                Stmt::While { cond, body } => {
+                    check_expr(cond, inputs, outputs, regs)?;
+                    check_stmts(body, inputs, outputs, regs)?;
+                }
+                Stmt::Par(branches) => {
+                    // Branches must write disjoint register sets.
+                    let mut written: Vec<HashSet<String>> = Vec::new();
+                    for b in branches {
+                        let mut w = HashSet::new();
+                        collect_writes(b, &mut w);
+                        for prev in &written {
+                            if let Some(shared) = w.intersection(prev).next() {
+                                return Err(LangError::Semantic(format!(
+                                    "`par` branches both write `{shared}`"
+                                )));
+                            }
+                        }
+                        written.push(w);
+                        check_stmts(b, inputs, outputs, regs)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_expr(
+        e: &crate::ast::Expr,
+        inputs: &HashSet<&str>,
+        outputs: &HashSet<&str>,
+        regs: &HashSet<&str>,
+    ) -> Result<(), LangError> {
+        let mut err = None;
+        e.visit_vars(&mut |v| {
+            if err.is_some() {
+                return;
+            }
+            if outputs.contains(v) {
+                err = Some(format!("output `{v}` cannot be read"));
+            } else if !inputs.contains(v) && !regs.contains(v) {
+                err = Some(format!("`{v}` is not declared"));
+            }
+        });
+        err.map_or(Ok(()), |m| Err(LangError::Semantic(m)))
+    }
+
+    fn collect_writes(stmts: &[Stmt], out: &mut HashSet<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { target, .. } => {
+                    out.insert(target.clone());
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    collect_writes(then_body, out);
+                    collect_writes(else_body, out);
+                }
+                Stmt::While { body, .. } => collect_writes(body, out),
+                Stmt::Par(branches) => {
+                    for b in branches {
+                        collect_writes(b, out);
+                    }
+                }
+            }
+        }
+    }
+
+    check_stmts(&prog.body, &inputs, &outputs, &regs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), LangError> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_program_passes() {
+        check_src("design t { in x; out y; reg r; r = x + 1; y = r; }").unwrap();
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let e = check_src("design t { in x; reg x; }").unwrap_err();
+        assert!(e.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn assign_to_input_rejected() {
+        let e = check_src("design t { in x; x = 1; }").unwrap_err();
+        assert!(e.to_string().contains("cannot assign to input"));
+    }
+
+    #[test]
+    fn undeclared_names_rejected() {
+        assert!(check_src("design t { reg r; r = q; }").is_err());
+        assert!(check_src("design t { q = 1; }").is_err());
+        assert!(check_src("design t { reg r; while (q) { r = 1; } }").is_err());
+    }
+
+    #[test]
+    fn reading_output_rejected() {
+        let e = check_src("design t { out y; reg r; y = 1; r = y; }").unwrap_err();
+        assert!(e.to_string().contains("cannot be read"));
+    }
+
+    #[test]
+    fn par_write_conflict_rejected() {
+        let e = check_src(
+            "design t { reg r; par { { r = 1; } { r = 2; } } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("both write"));
+    }
+
+    #[test]
+    fn par_disjoint_writes_pass() {
+        check_src("design t { reg a, b; par { { a = 1; } { b = 2; } } }").unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! Front-end error types.
+
+/// Errors from the lexer, parser, or semantic checker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LangError {
+    /// Lexical error at a source position.
+    Lex {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// Description.
+        message: String,
+    },
+    /// Parse error at a source position.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// Description.
+        message: String,
+    },
+    /// Semantic error (undeclared name, illegal assignment target, …).
+    Semantic(String),
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::Lex { line, col, message } => {
+                write!(f, "lex error at {line}:{col}: {message}")
+            }
+            LangError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            LangError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

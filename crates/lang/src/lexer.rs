@@ -1,0 +1,255 @@
+//! Hand-written lexer for the behavioural language.
+//!
+//! Supports `//` line comments and `/* */` block comments, decimal and
+//! hexadecimal (`0x…`) integer literals, and the operator set of
+//! [`crate::token::TokenKind`].
+
+use crate::error::LangError;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenize a full source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let next = bytes.get(i + 1).map(|&b| b as char);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let (sl, sc) = (line, col);
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LangError::Lex {
+                            line: sl,
+                            col: sc,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let (value, len) = lex_number(&src[i..]).map_err(|message| LangError::Lex {
+                    line,
+                    col,
+                    message,
+                })?;
+                let _ = start;
+                push!(TokenKind::Int(value), len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match Keyword::lookup(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, line, col });
+                col += (i - start) as u32;
+            }
+            '<' if next == Some('<') => push!(TokenKind::Shl, 2),
+            '>' if next == Some('>') => push!(TokenKind::Shr, 2),
+            '<' if next == Some('=') => push!(TokenKind::Le, 2),
+            '>' if next == Some('=') => push!(TokenKind::Ge, 2),
+            '=' if next == Some('=') => push!(TokenKind::EqEq, 2),
+            '!' if next == Some('=') => push!(TokenKind::NotEq, 2),
+            '<' => push!(TokenKind::Lt, 1),
+            '>' => push!(TokenKind::Gt, 1),
+            '=' => push!(TokenKind::Assign, 1),
+            '!' => push!(TokenKind::Bang, 1),
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            ';' => push!(TokenKind::Semi, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '-' => push!(TokenKind::Minus, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            '%' => push!(TokenKind::Percent, 1),
+            '&' => push!(TokenKind::Amp, 1),
+            '|' => push!(TokenKind::Pipe, 1),
+            '^' => push!(TokenKind::Caret, 1),
+            '~' => push!(TokenKind::Tilde, 1),
+            '?' => push!(TokenKind::Question, 1),
+            ':' => push!(TokenKind::Colon, 1),
+            other => {
+                return Err(LangError::Lex {
+                    line,
+                    col,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+/// Lex a number starting at the beginning of `s`; returns (value, length).
+fn lex_number(s: &str) -> Result<(i64, usize), String> {
+    let bytes = s.as_bytes();
+    if s.starts_with("0x") || s.starts_with("0X") {
+        let mut end = 2;
+        while end < bytes.len() && (bytes[end] as char).is_ascii_hexdigit() {
+            end += 1;
+        }
+        if end == 2 {
+            return Err("hex literal needs digits".into());
+        }
+        let v = i64::from_str_radix(&s[2..end], 16)
+            .map_err(|e| format!("bad hex literal: {e}"))?;
+        Ok((v, end))
+    } else {
+        let mut end = 0;
+        while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+            end += 1;
+        }
+        let v: i64 = s[..end]
+            .parse()
+            .map_err(|e| format!("bad integer literal: {e}"))?;
+        Ok((v, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn operators_and_idents() {
+        let k = kinds("a = b + 3 * c;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::Plus,
+                TokenKind::Int(3),
+                TokenKind::Star,
+                TokenKind::Ident("c".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_recognised() {
+        let k = kinds("design while if else par in out reg whilex");
+        assert!(matches!(k[0], TokenKind::Keyword(Keyword::Design)));
+        assert!(matches!(k[1], TokenKind::Keyword(Keyword::While)));
+        assert!(matches!(k[7], TokenKind::Keyword(Keyword::Reg)));
+        assert!(matches!(k[8], TokenKind::Ident(ref s) if s == "whilex"));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let k = kinds("<= >= == != << >> < >");
+        assert_eq!(
+            k[..8],
+            [
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::Lt,
+                TokenKind::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("a // line comment\n/* block\ncomment */ b");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(kinds("0xff")[0], TokenKind::Int(255));
+        assert_eq!(kinds("0x10")[0], TokenKind::Int(16));
+    }
+
+    #[test]
+    fn line_tracking() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("0x").is_err());
+    }
+}

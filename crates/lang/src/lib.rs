@@ -1,0 +1,41 @@
+//! # etpn-lang — behavioural description front-end
+//!
+//! A small imperative hardware-description language standing in for the
+//! unspecified "algorithmic description" input of the paper's synthesis
+//! flow (§5): `in`/`out` ports, `reg` storage, assignments, `if`/`else`,
+//! `while`, and `par { … }` concurrent blocks.
+//!
+//! ```
+//! let prog = etpn_lang::parse_and_check(
+//!     "design inc { in x; out y; reg r = 0; r = x + 1; y = r; }",
+//! ).unwrap();
+//! assert_eq!(prog.name, "inc");
+//! assert_eq!(prog.assignment_count(), 2);
+//! ```
+//!
+//! Compilation of a [`ast::Program`] into an initial, maximally serial
+//! ETPN lives in `etpn-synth::compile`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::{BinOp, Expr, Program, RegDecl, Stmt, UnOp};
+pub use check::check;
+pub use error::LangError;
+pub use parser::parse;
+pub use pretty::pretty;
+
+/// Parse and semantically check a design in one call.
+pub fn parse_and_check(src: &str) -> Result<Program, LangError> {
+    let prog = parse(src)?;
+    check(&prog)?;
+    Ok(prog)
+}

@@ -1,0 +1,461 @@
+//! Recursive-descent parser.
+//!
+//! Grammar (EBNF):
+//!
+//! ```text
+//! program   := "design" IDENT "{" decl* stmt* "}"
+//! decl      := ("in" | "out") IDENT ("," IDENT)* ";"
+//!            | "reg" regitem ("," regitem)* ";"
+//! regitem   := IDENT ("=" INT)?
+//! stmt      := IDENT "=" expr ";"
+//!            | "if" "(" expr ")" block ("else" block)?
+//!            | "while" "(" expr ")" block
+//!            | "par" "{" block+ "}"
+//! block     := "{" stmt* "}"
+//! expr      := ternary
+//! ternary   := or ("?" expr ":" expr)?
+//! or        := xor ("|" xor)*
+//! xor       := and ("^" and)*
+//! and       := cmp ("&" cmp)*
+//! cmp       := shift (("=="|"!="|"<"|"<="|">"|">=") shift)?
+//! shift     := add (("<<"|">>") add)*
+//! add       := mul (("+"|"-") mul)*
+//! mul       := unary (("*"|"/"|"%") unary)*
+//! unary     := ("-"|"~"|"!") unary | primary
+//! primary   := INT | IDENT | "(" expr ")"
+//! ```
+
+use crate::ast::{BinOp, Expr, Program, RegDecl, Stmt, UnOp};
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parse a complete `design` from source text.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let prog = p.program()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(prog)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, LangError> {
+        let t = self.peek();
+        Err(LangError::Parse {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), LangError> {
+        if self.peek().kind == kind {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        self.expect(TokenKind::Keyword(Keyword::Design))?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut prog = Program {
+            name,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            regs: Vec::new(),
+            body: Vec::new(),
+        };
+        // Declarations first.
+        loop {
+            match self.peek().kind {
+                TokenKind::Keyword(Keyword::In) => {
+                    self.pos += 1;
+                    loop {
+                        prog.inputs.push(self.ident()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Keyword(Keyword::Out) => {
+                    self.pos += 1;
+                    loop {
+                        prog.outputs.push(self.ident()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Keyword(Keyword::Reg) => {
+                    self.pos += 1;
+                    loop {
+                        let name = self.ident()?;
+                        let init = if self.eat(&TokenKind::Assign) {
+                            Some(self.int_literal()?)
+                        } else {
+                            None
+                        };
+                        prog.regs.push(RegDecl { name, init });
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                _ => break,
+            }
+        }
+        // Statements.
+        while self.peek().kind != TokenKind::RBrace {
+            let s = self.stmt()?;
+            prog.body.push(s);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(prog)
+    }
+
+    fn int_literal(&mut self) -> Result<i64, LangError> {
+        let negative = self.eat(&TokenKind::Minus);
+        match self.peek().kind {
+            TokenKind::Int(v) => {
+                self.pos += 1;
+                Ok(if negative { -v } else { v })
+            }
+            _ => self.err("expected integer literal"),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Keyword(Keyword::If) => {
+                self.pos += 1;
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&TokenKind::Keyword(Keyword::Else)) {
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.pos += 1;
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Keyword(Keyword::Par) => {
+                self.pos += 1;
+                self.expect(TokenKind::LBrace)?;
+                let mut branches = Vec::new();
+                while self.peek().kind == TokenKind::LBrace {
+                    branches.push(self.block()?);
+                }
+                if branches.is_empty() {
+                    return self.err("`par` needs at least one `{ … }` branch");
+                }
+                self.expect(TokenKind::RBrace)?;
+                Ok(Stmt::Par(branches))
+            }
+            TokenKind::Ident(_) => {
+                let target = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let expr = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assign { target, expr })
+            }
+            other => self.err(format!("expected statement, found {other}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let cond = self.or_expr()?;
+        if self.eat(&TokenKind::Question) {
+            let then_e = self.expr()?;
+            self.expect(TokenKind::Colon)?;
+            let else_e = self.expr()?;
+            Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(then_e),
+                Box::new(else_e),
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.xor_expr()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.xor_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn xor_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::Caret) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.shift_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.shift_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        let op = match self.peek().kind {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Tilde => Some(UnOp::Not),
+            TokenKind::Bang => Some(UnOp::LNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let e = self.unary_expr()?;
+            Ok(Expr::Unary(op, Box::new(e)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.pos += 1;
+                Ok(Expr::Const(v))
+            }
+            TokenKind::Ident(s) => {
+                self.pos += 1;
+                Ok(Expr::Var(s))
+            }
+            TokenKind::LParen => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_design() {
+        let p = parse("design t { in x; out y; reg r = 0; r = x + 1; y = r; }").unwrap();
+        assert_eq!(p.name, "t");
+        assert_eq!(p.inputs, vec!["x"]);
+        assert_eq!(p.outputs, vec!["y"]);
+        assert_eq!(p.regs.len(), 1);
+        assert_eq!(p.regs[0].init, Some(0));
+        assert_eq!(p.body.len(), 2);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("design t { reg r; r = 1 + 2 * 3; }").unwrap();
+        let Stmt::Assign { expr, .. } = &p.body[0] else {
+            panic!()
+        };
+        // 1 + (2*3)
+        assert_eq!(
+            *expr,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Const(1)),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Const(2)),
+                    Box::new(Expr::Const(3))
+                ))
+            )
+        );
+    }
+
+    #[test]
+    fn parens_override() {
+        let p = parse("design t { reg r; r = (1 + 2) * 3; }").unwrap();
+        let Stmt::Assign { expr, .. } = &p.body[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn control_structures() {
+        let src = "design t { in x; reg r;
+            while (r < 10) {
+                if (x > 0) { r = r + 1; } else { r = r - 1; }
+                par { { r = r; } { r = r; } }
+            }
+        }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.body.len(), 1);
+        let Stmt::While { body, .. } = &p.body[0] else {
+            panic!()
+        };
+        assert!(matches!(body[0], Stmt::If { .. }));
+        let Stmt::Par(branches) = &body[1] else {
+            panic!()
+        };
+        assert_eq!(branches.len(), 2);
+    }
+
+    #[test]
+    fn ternary() {
+        let p = parse("design t { reg r; r = r > 0 ? 1 : 2; }").unwrap();
+        let Stmt::Assign { expr, .. } = &p.body[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Ternary(_, _, _)));
+    }
+
+    #[test]
+    fn negative_reg_init() {
+        let p = parse("design t { reg r = -5; }").unwrap();
+        assert_eq!(p.regs[0].init, Some(-5));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse("design t { reg r; r = ; }").unwrap_err();
+        match e {
+            LangError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("{other}"),
+        }
+        assert!(parse("design t { par { } }").is_err());
+        assert!(parse("design { }").is_err());
+    }
+
+    #[test]
+    fn multi_declarations() {
+        let p = parse("design t { in a, b, c; out y, z; reg r1, r2 = 7; }").unwrap();
+        assert_eq!(p.inputs.len(), 3);
+        assert_eq!(p.outputs.len(), 2);
+        assert_eq!(p.regs[1].init, Some(7));
+        assert_eq!(p.regs[0].init, None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Pretty-printer: renders an AST back to parseable source.
+//!
+//! `parse(pretty(parse(src))) == parse(src)` is property-tested in the
+//! crate tests, giving the front-end a round-trip guarantee.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use std::fmt::Write;
+
+/// Render a program as source text.
+pub fn pretty(prog: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "design {} {{", prog.name);
+    if !prog.inputs.is_empty() {
+        let _ = writeln!(out, "  in {};", prog.inputs.join(", "));
+    }
+    if !prog.outputs.is_empty() {
+        let _ = writeln!(out, "  out {};", prog.outputs.join(", "));
+    }
+    if !prog.regs.is_empty() {
+        let regs: Vec<String> = prog
+            .regs
+            .iter()
+            .map(|r| match r.init {
+                Some(v) => format!("{} = {}", r.name, v),
+                None => r.name.clone(),
+            })
+            .collect();
+        let _ = writeln!(out, "  reg {};", regs.join(", "));
+    }
+    for s in &prog.body {
+        write_stmt(&mut out, s, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Assign { target, expr } => {
+            indent(out, level);
+            let _ = writeln!(out, "{target} = {};", expr_str(expr));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) {{", expr_str(cond));
+            for st in then_body {
+                write_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for st in else_body {
+                    write_stmt(out, st, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "while ({}) {{", expr_str(cond));
+            for st in body {
+                write_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Par(branches) => {
+            indent(out, level);
+            out.push_str("par {\n");
+            for b in branches {
+                indent(out, level + 1);
+                out.push_str("{\n");
+                for st in b {
+                    write_stmt(out, st, level + 2);
+                }
+                indent(out, level + 1);
+                out.push_str("}\n");
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Render an expression fully parenthesised (round-trip safe).
+pub fn expr_str(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Var(n) => n.clone(),
+        Expr::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "~",
+                UnOp::LNot => "!",
+            };
+            format!("({sym}{})", expr_str(inner))
+        }
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                BinOp::Xor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+            };
+            format!("({} {sym} {})", expr_str(a), expr_str(b))
+        }
+        Expr::Ternary(c, a, b) => {
+            format!("({} ? {} : {})", expr_str(c), expr_str(a), expr_str(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "design t { in x; out y; reg r = 3; r = x + 1; y = r; }";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&pretty(&p1)).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let src = "design t { in x; reg r;
+            while (r < 10) {
+                if (x > 0) { r = r + (2 * x); } else { r = -x; }
+                par { { r = r; } { r = r; } }
+            }
+        }";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&pretty(&p1)).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn roundtrip_negative_and_ternary() {
+        let src = "design t { reg r = -1; r = r > 0 ? r : -r; }";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&pretty(&p1)).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

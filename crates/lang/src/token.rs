@@ -1,0 +1,162 @@
+//! Tokens of the behavioural description language.
+
+/// A lexical token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column of the first character.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A keyword.
+    Keyword(Keyword),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Keyword {
+    /// `design`
+    Design,
+    /// `in`
+    In,
+    /// `out`
+    Out,
+    /// `reg`
+    Reg,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `par`
+    Par,
+}
+
+impl Keyword {
+    /// Parse a keyword from an identifier, if reserved.
+    pub fn lookup(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "design" => Keyword::Design,
+            "in" => Keyword::In,
+            "out" => Keyword::Out,
+            "reg" => Keyword::Reg,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "par" => Keyword::Par,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", symbol(other)),
+        }
+    }
+}
+
+fn symbol(k: &TokenKind) -> &'static str {
+    match k {
+        TokenKind::LParen => "(",
+        TokenKind::RParen => ")",
+        TokenKind::LBrace => "{",
+        TokenKind::RBrace => "}",
+        TokenKind::Semi => ";",
+        TokenKind::Comma => ",",
+        TokenKind::Assign => "=",
+        TokenKind::Plus => "+",
+        TokenKind::Minus => "-",
+        TokenKind::Star => "*",
+        TokenKind::Slash => "/",
+        TokenKind::Percent => "%",
+        TokenKind::Amp => "&",
+        TokenKind::Pipe => "|",
+        TokenKind::Caret => "^",
+        TokenKind::Tilde => "~",
+        TokenKind::Bang => "!",
+        TokenKind::Shl => "<<",
+        TokenKind::Shr => ">>",
+        TokenKind::EqEq => "==",
+        TokenKind::NotEq => "!=",
+        TokenKind::Lt => "<",
+        TokenKind::Le => "<=",
+        TokenKind::Gt => ">",
+        TokenKind::Ge => ">=",
+        TokenKind::Question => "?",
+        TokenKind::Colon => ":",
+        _ => "?",
+    }
+}

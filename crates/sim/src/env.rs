@@ -1,0 +1,165 @@
+//! Environments: the outside world a design interacts with (paper §3).
+//!
+//! "We assume that a sequence of such values is implicitly predefined for
+//! each input vertex, when an external event structure is specified." An
+//! [`Environment`] supplies exactly that: a value stream per external input
+//! vertex. The stream position advances once per control step in which any
+//! arc leaving the input vertex was open — i.e. once per external input
+//! event occurrence.
+
+use etpn_core::{Etpn, Value, VertexId};
+use std::collections::HashMap;
+
+/// A source of input values for the external input vertices.
+pub trait Environment {
+    /// The `k`-th value of the stream predefined for `input` (0-based).
+    ///
+    /// Returning [`Value::Undef`] models an exhausted or absent stream.
+    fn value_at(&self, input: VertexId, name: &str, k: u64) -> Value;
+}
+
+/// An environment defined by explicit finite streams keyed by input-vertex
+/// name. Positions beyond the end of a stream yield `⊥` by default, or the
+/// last value when [`ScriptedEnv::repeat_last`] is set.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedEnv {
+    streams: HashMap<String, Vec<Value>>,
+    repeat_last: bool,
+}
+
+impl ScriptedEnv {
+    /// An environment with no streams (every read yields `⊥`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a stream of defined values to the input vertex named `name`.
+    pub fn with_stream<I, T>(mut self, name: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<i64>,
+    {
+        self.streams.insert(
+            name.to_string(),
+            values.into_iter().map(|v| Value::Def(v.into())).collect(),
+        );
+        self
+    }
+
+    /// Attach a raw stream that may contain `⊥`.
+    pub fn with_raw_stream(mut self, name: &str, values: Vec<Value>) -> Self {
+        self.streams.insert(name.to_string(), values);
+        self
+    }
+
+    /// After a stream is exhausted, keep supplying its last value instead
+    /// of `⊥`. Useful for quasi-constant inputs such as mode pins.
+    pub fn repeat_last(mut self) -> Self {
+        self.repeat_last = true;
+        self
+    }
+
+    /// The length of the shortest attached stream (0 when none).
+    pub fn shortest_stream(&self) -> usize {
+        self.streams.values().map(Vec::len).min().unwrap_or(0)
+    }
+}
+
+impl Environment for ScriptedEnv {
+    fn value_at(&self, _input: VertexId, name: &str, k: u64) -> Value {
+        match self.streams.get(name) {
+            Some(seq) => match seq.get(k as usize) {
+                Some(&v) => v,
+                None if self.repeat_last => seq.last().copied().unwrap_or(Value::Undef),
+                None => Value::Undef,
+            },
+            None => Value::Undef,
+        }
+    }
+}
+
+/// An environment computing each value on demand from `(name, k)`.
+///
+/// Handy for long or pseudo-random input streams in benches:
+/// `FnEnv::new(|name, k| Value::Def(hash(name, k)))`.
+pub struct FnEnv<F: Fn(&str, u64) -> Value> {
+    f: F,
+}
+
+impl<F: Fn(&str, u64) -> Value> FnEnv<F> {
+    /// Wrap a closure as an environment.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: Fn(&str, u64) -> Value> Environment for FnEnv<F> {
+    fn value_at(&self, _input: VertexId, name: &str, k: u64) -> Value {
+        (self.f)(name, k)
+    }
+}
+
+/// Per-run cursor state tracking how far each input vertex has consumed its
+/// stream. Owned by the simulation engine.
+#[derive(Clone, Debug)]
+pub struct InputCursors {
+    /// `positions[raw vertex id]` = next stream index `k`.
+    positions: Vec<u64>,
+}
+
+impl InputCursors {
+    /// Fresh cursors (all at position 0) for the inputs of `g`.
+    pub fn new(g: &Etpn) -> Self {
+        Self {
+            positions: vec![0; g.dp.vertices().capacity_bound()],
+        }
+    }
+
+    /// Current position of an input vertex.
+    pub fn position(&self, v: VertexId) -> u64 {
+        self.positions[v.idx()]
+    }
+
+    /// Advance an input vertex's cursor by one (called once per step in
+    /// which one of its arcs was open).
+    pub fn advance(&mut self, v: VertexId) {
+        self.positions[v.idx()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_streams_in_order() {
+        let env = ScriptedEnv::new().with_stream("x", [1, 2, 3]);
+        let v = VertexId::new(0);
+        assert_eq!(env.value_at(v, "x", 0), Value::Def(1));
+        assert_eq!(env.value_at(v, "x", 2), Value::Def(3));
+        assert_eq!(env.value_at(v, "x", 3), Value::Undef);
+        assert_eq!(env.value_at(v, "y", 0), Value::Undef);
+        assert_eq!(env.shortest_stream(), 3);
+    }
+
+    #[test]
+    fn repeat_last_extends_stream() {
+        let env = ScriptedEnv::new().with_stream("x", [7]).repeat_last();
+        let v = VertexId::new(0);
+        assert_eq!(env.value_at(v, "x", 100), Value::Def(7));
+    }
+
+    #[test]
+    fn fn_env_computes() {
+        let env = FnEnv::new(|name, k| {
+            if name == "x" {
+                Value::Def(k as i64 * 2)
+            } else {
+                Value::Undef
+            }
+        });
+        let v = VertexId::new(0);
+        assert_eq!(env.value_at(v, "x", 5), Value::Def(10));
+        assert_eq!(env.value_at(v, "z", 5), Value::Undef);
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulation failure modes.
+
+use etpn_core::{PlaceId, PortId};
+
+/// Errors raised during execution of the operational semantics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// Two or more arcs into the same input port were open simultaneously —
+    /// "a single input port cannot receive signals simultaneously from more
+    /// than one resource" (paper §2, discussion of Def. 2.4).
+    InputConflict {
+        /// The contended input port.
+        port: PortId,
+        /// The step at which the conflict occurred.
+        step: u64,
+    },
+    /// A combinational cycle became active (violates Def. 3.2(4)); data-path
+    /// evaluation cannot reach a fixpoint.
+    CombinationalLoop {
+        /// A port on the cycle.
+        port: PortId,
+        /// The step at which the loop became active.
+        step: u64,
+    },
+    /// A marking with more than one token on a place was reached while the
+    /// engine was configured to enforce safeness (Def. 3.2(2)).
+    UnsafeMarking {
+        /// The over-full place.
+        place: PlaceId,
+        /// The step at which it happened.
+        step: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InputConflict { port, step } => {
+                write!(f, "input port {port} driven by multiple open arcs at step {step}")
+            }
+            SimError::CombinationalLoop { port, step } => {
+                write!(f, "active combinational loop through {port} at step {step}")
+            }
+            SimError::UnsafeMarking { place, step } => {
+                write!(f, "place {place} holds more than one token at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,166 @@
+//! Extraction of the external event structure `S(Γ) = (E, ≺, ≍)` from a
+//! trace (paper Def. 3.5).
+//!
+//! * `Ei ≺ Ej` iff `Ei` occurs before `Ej` **and** `Si ⇒ Sj` for their
+//!   labelling control states;
+//! * `Ei ≍ Ej` iff they occur at the same time **and** are controlled by
+//!   the *same* control state;
+//! * all other pairs are in the *casual* relation — free to occur in any
+//!   order — which is exactly why the extraction is stable across firing
+//!   policies for properly designed systems (experiment E10).
+
+use crate::trace::Trace;
+use etpn_core::{ControlRelations, Etpn, EventKey, EventStructure};
+
+/// Build the external event structure of a completed run.
+///
+/// Cost is quadratic in the number of external events; intended for
+/// verification workloads (the semantic-equivalence oracle), not for
+/// throughput benchmarking.
+pub fn event_structure(g: &Etpn, trace: &Trace) -> EventStructure {
+    let rel = ControlRelations::compute(&g.ctl);
+    event_structure_with(&rel, trace)
+}
+
+/// Like [`event_structure`] but reusing a precomputed relation snapshot
+/// (the relations depend only on the control structure, not the run).
+pub fn event_structure_with(rel: &ControlRelations, trace: &Trace) -> EventStructure {
+    let mut s = EventStructure::new();
+    let keys: Vec<EventKey> = trace
+        .events
+        .iter()
+        .map(|e| s.push_event(e.arc, e.value))
+        .collect();
+    for (i, ei) in trace.events.iter().enumerate() {
+        for (j, ej) in trace.events.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if ei.step < ej.step && rel.leads_to(ei.place, ej.place) {
+                s.add_precedent(keys[i], keys[j]);
+            }
+            if i < j && ei.step == ej.step && ei.place == ej.place {
+                s.add_concurrent(keys[i], keys[j]);
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::env::ScriptedEnv;
+    use etpn_core::EtpnBuilder;
+
+    /// Two parallel branches after a fork, then join; each branch copies an
+    /// input to an output.
+    fn parallel_copy() -> Etpn {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let rx = b.register("rx");
+        let ry = b.register("ry");
+        let ox = b.output("ox");
+        let oy = b.output("oy");
+        let load_x = b.connect(b.out_port(x, 0), b.in_port(rx, 0));
+        let load_y = b.connect(b.out_port(y, 0), b.in_port(ry, 0));
+        let emit_x = b.connect(b.out_port(rx, 0), b.in_port(ox, 0));
+        let emit_y = b.connect(b.out_port(ry, 0), b.in_port(oy, 0));
+        let s0 = b.place("s0");
+        let sx = b.place("sx");
+        let sy = b.place("sy");
+        let sx2 = b.place("sx2");
+        let sy2 = b.place("sy2");
+        let s_end = b.place("end");
+        b.control(s0, [load_x, load_y]);
+        b.control(sx, [emit_x]);
+        b.control(sy, [emit_y]);
+        // fork
+        let tf = b.transition("fork");
+        b.flow_st(s0, tf);
+        b.flow_ts(tf, sx);
+        b.flow_ts(tf, sy);
+        b.seq(sx, sx2, "tx");
+        b.seq(sy, sy2, "ty");
+        // join
+        let tj = b.transition("join");
+        b.flow_st(sx2, tj);
+        b.flow_st(sy2, tj);
+        b.flow_ts(tj, s_end);
+        let t_end = b.transition("t_end");
+        b.flow_st(s_end, t_end);
+        b.mark(s0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn same_place_same_step_events_are_concurrent() {
+        let g = parallel_copy();
+        let env = ScriptedEnv::new().with_stream("x", [1]).with_stream("y", [2]);
+        let trace = Simulator::new(&g, env).run(20).unwrap();
+        let s = event_structure(&g, &trace);
+        // The two load events under s0 happen at step 0 under one place.
+        assert_eq!(s.concurrent.len(), 1, "exactly the two s0 loads: {s:?}");
+    }
+
+    #[test]
+    fn parallel_branch_events_are_casual() {
+        let g = parallel_copy();
+        let env = ScriptedEnv::new().with_stream("x", [1]).with_stream("y", [2]);
+        let trace = Simulator::new(&g, env).run(20).unwrap();
+        let s = event_structure(&g, &trace);
+        // Find the emit events (on arcs into outputs).
+        let ox_arc = {
+            let v = g.dp.vertex_by_name("ox").unwrap();
+            g.dp.incoming_arcs(g.dp.vertex(v).inputs[0])[0]
+        };
+        let oy_arc = {
+            let v = g.dp.vertex_by_name("oy").unwrap();
+            g.dp.incoming_arcs(g.dp.vertex(v).inputs[0])[0]
+        };
+        let kx = EventKey { arc: ox_arc, k: 0 };
+        let ky = EventKey { arc: oy_arc, k: 0 };
+        assert!(s.casual(kx, ky), "parallel-branch emits are unordered");
+    }
+
+    #[test]
+    fn load_precedes_emit() {
+        let g = parallel_copy();
+        let env = ScriptedEnv::new().with_stream("x", [1]).with_stream("y", [2]);
+        let trace = Simulator::new(&g, env).run(20).unwrap();
+        let s = event_structure(&g, &trace);
+        let x = g.dp.vertex_by_name("x").unwrap();
+        let load_x_arc = g.dp.outgoing_arcs(g.dp.out_port(x, 0))[0];
+        let ox = g.dp.vertex_by_name("ox").unwrap();
+        let emit_x_arc = g.dp.incoming_arcs(g.dp.vertex(ox).inputs[0])[0];
+        let kl = EventKey { arc: load_x_arc, k: 0 };
+        let ke = EventKey { arc: emit_x_arc, k: 0 };
+        assert!(s.precedes(kl, ke), "s0 ⇒ sx and step order holds");
+        assert!(!s.precedes(ke, kl));
+    }
+
+    #[test]
+    fn structures_equal_across_policies() {
+        use crate::policy::FiringPolicy;
+        let g = parallel_copy();
+        let mk_env =
+            || ScriptedEnv::new().with_stream("x", [1]).with_stream("y", [2]);
+        let t1 = Simulator::new(&g, mk_env()).run(50).unwrap();
+        let s1 = event_structure(&g, &t1);
+        for seed in 0..4 {
+            let t2 = Simulator::new(&g, mk_env())
+                .with_policy(FiringPolicy::SingleRandom { seed })
+                .run(50)
+                .unwrap();
+            let s2 = event_structure(&g, &t2);
+            assert_eq!(
+                s1,
+                s2,
+                "policy seed {seed}: {:?}",
+                s1.first_difference(&s2)
+            );
+        }
+    }
+}

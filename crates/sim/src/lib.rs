@@ -1,0 +1,41 @@
+//! # etpn-sim — operational semantics for the ETPN model
+//!
+//! Executable form of the behaviour rules of *Peng, ICPP 1988*, Def. 3.1:
+//! the Petri-net token game interleaved with data-path evaluation.
+//!
+//! * [`mod@env`] — the environment: predefined value streams per input vertex;
+//! * [`eval`] — per-step data-path evaluation (open arcs, combinatorial
+//!   propagation, `⊥` handling, register latching);
+//! * [`policy`] — resolution of firing nondeterminism (maximal-step,
+//!   random-maximal, single-random interleaving);
+//! * [`engine`] — the step loop, committing external events and register
+//!   updates once per control-state activation;
+//! * [`trace`] / [`extract`] — run records and extraction of the external
+//!   event structure `S(Γ)` (Def. 3.5);
+//! * [`equiv`] — empirical semantic-equivalence comparison (Def. 4.1);
+//! * [`determinism`] — the policy-invariance battery justifying Def. 3.2.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coverage;
+pub mod determinism;
+pub mod engine;
+pub mod env;
+pub mod equiv;
+pub mod error;
+pub mod eval;
+pub mod extract;
+pub mod policy;
+pub mod trace;
+pub mod vcd;
+
+pub use coverage::{coverage, CoverageReport};
+pub use determinism::{check_determinism, check_determinism_with, DeterminismReport};
+pub use engine::Simulator;
+pub use env::{Environment, FnEnv, ScriptedEnv};
+pub use equiv::{compare_structures, compare_values, observationally_equal, EquivalenceVerdict};
+pub use error::SimError;
+pub use extract::event_structure;
+pub use policy::FiringPolicy;
+pub use trace::{Termination, Trace};

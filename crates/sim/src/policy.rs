@@ -1,0 +1,107 @@
+//! Firing policies: how the intrinsic nondeterminism of the Petri-net
+//! firing rule is resolved into a concrete run.
+//!
+//! The paper (Def. 3.2) restricts attention to *properly designed* systems
+//! precisely so that this choice does not matter: for such systems every
+//! policy must produce the same external event structure. The simulator
+//! therefore makes the policy pluggable, and the determinism experiment
+//! (E10) runs many policies/seeds and compares the extracted structures.
+
+use etpn_core::TransId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Strategy for choosing which enabled, guard-true transitions fire in a step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FiringPolicy {
+    /// Fire a maximal non-conflicting set, attempting transitions in id
+    /// order. Deterministic; models fully synchronous hardware.
+    MaximalStep,
+    /// Fire a maximal set, attempting transitions in a seeded random order.
+    /// Exercises different conflict resolutions and concurrency schedules.
+    RandomMaximal {
+        /// RNG seed (runs with equal seeds are identical).
+        seed: u64,
+    },
+    /// Fire exactly one randomly chosen transition per step — the fully
+    /// interleaved semantics, maximally adversarial for timing assumptions.
+    SingleRandom {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl FiringPolicy {
+    /// Build the per-run RNG (None for the deterministic policy).
+    pub(crate) fn rng(&self) -> Option<SmallRng> {
+        match self {
+            FiringPolicy::MaximalStep => None,
+            FiringPolicy::RandomMaximal { seed } | FiringPolicy::SingleRandom { seed } => {
+                Some(SmallRng::seed_from_u64(*seed))
+            }
+        }
+    }
+
+    /// Produce the ordered list of transitions to *attempt* this step from
+    /// the set of ready (enabled and guard-true) transitions.
+    pub(crate) fn order(&self, ready: &[TransId], rng: Option<&mut SmallRng>) -> Vec<TransId> {
+        match self {
+            FiringPolicy::MaximalStep => ready.to_vec(),
+            FiringPolicy::RandomMaximal { .. } => {
+                let mut v = ready.to_vec();
+                v.shuffle(rng.expect("random policy carries an RNG"));
+                v
+            }
+            FiringPolicy::SingleRandom { .. } => {
+                if ready.is_empty() {
+                    Vec::new()
+                } else {
+                    let rng = rng.expect("random policy carries an RNG");
+                    vec![ready[rng.gen_range(0..ready.len())]]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[u32]) -> Vec<TransId> {
+        ids.iter().map(|&i| TransId::new(i)).collect()
+    }
+
+    #[test]
+    fn maximal_step_keeps_id_order() {
+        let ready = ts(&[2, 0, 5]);
+        let p = FiringPolicy::MaximalStep;
+        assert_eq!(p.order(&ready, None), ready);
+    }
+
+    #[test]
+    fn random_maximal_is_a_permutation_and_seed_stable() {
+        let ready = ts(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let p = FiringPolicy::RandomMaximal { seed: 42 };
+        let mut rng1 = p.rng().unwrap();
+        let mut rng2 = p.rng().unwrap();
+        let o1 = p.order(&ready, Some(&mut rng1));
+        let o2 = p.order(&ready, Some(&mut rng2));
+        assert_eq!(o1, o2, "same seed, same order");
+        let mut sorted = o1.clone();
+        sorted.sort();
+        assert_eq!(sorted, ready);
+    }
+
+    #[test]
+    fn single_random_picks_exactly_one() {
+        let ready = ts(&[3, 9]);
+        let p = FiringPolicy::SingleRandom { seed: 7 };
+        let mut rng = p.rng().unwrap();
+        let picked = p.order(&ready, Some(&mut rng));
+        assert_eq!(picked.len(), 1);
+        assert!(ready.contains(&picked[0]));
+        assert!(p.order(&[], Some(&mut rng)).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Execution traces: the observable record of one run.
+
+use etpn_core::{ArcId, Etpn, ExternalEvent, PlaceId, PortId, TransId, Value};
+
+/// Why a run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Termination {
+    /// No token remained in any control state (Def. 3.1(6)).
+    Terminated,
+    /// Tokens remain but the system reached a fixpoint: nothing fired and
+    /// no input stream advanced, so no future step can differ.
+    Quiescent,
+    /// The step budget ran out first.
+    StepLimit,
+}
+
+/// The observable outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// All external events in occurrence order (ties broken by arc id).
+    pub events: Vec<ExternalEvent>,
+    /// Number of control steps executed.
+    pub steps: u64,
+    /// Number of transition firings.
+    pub firings: u64,
+    /// How the run ended.
+    pub termination: Termination,
+    /// Ports captured per step (see `Simulator::watch_ports`).
+    pub watch: Vec<PortId>,
+    /// One value row per executed step, aligned with `watch`.
+    pub watched: Vec<Vec<Value>>,
+    /// Firing count per transition (raw-id indexed).
+    pub fire_counts: Vec<u64>,
+    /// Activation (exit) count per control state (raw-id indexed).
+    pub exit_counts: Vec<u64>,
+}
+
+impl Trace {
+    /// The values observed on one arc, in occurrence order.
+    pub fn values_on_arc(&self, arc: ArcId) -> Vec<Value> {
+        self.events
+            .iter()
+            .filter(|e| e.arc == arc)
+            .map(|e| e.value)
+            .collect()
+    }
+
+    /// The *defined* values delivered to the output vertex named `name`,
+    /// in occurrence order. Convenience for asserting computed results.
+    pub fn values_on_named_output(&self, g: &Etpn, name: &str) -> Vec<i64> {
+        let Some(v) = g.dp.vertex_by_name(name) else {
+            return Vec::new();
+        };
+        let Some(&ip) = g.dp.vertex(v).inputs.first() else {
+            return Vec::new();
+        };
+        let arcs: Vec<ArcId> = g.dp.incoming_arcs(ip).to_vec();
+        self.events
+            .iter()
+            .filter(|e| arcs.contains(&e.arc))
+            .filter_map(|e| e.value.as_i64())
+            .collect()
+    }
+
+    /// All values (defined or not) delivered to a named output vertex.
+    pub fn raw_values_on_named_output(&self, g: &Etpn, name: &str) -> Vec<Value> {
+        let Some(v) = g.dp.vertex_by_name(name) else {
+            return Vec::new();
+        };
+        let Some(&ip) = g.dp.vertex(v).inputs.first() else {
+            return Vec::new();
+        };
+        let arcs: Vec<ArcId> = g.dp.incoming_arcs(ip).to_vec();
+        self.events
+            .iter()
+            .filter(|e| arcs.contains(&e.arc))
+            .map(|e| e.value)
+            .collect()
+    }
+
+    /// Total number of external events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Firing count of one transition.
+    pub fn firings_of(&self, t: TransId) -> u64 {
+        self.fire_counts.get(t.idx()).copied().unwrap_or(0)
+    }
+
+    /// Activation count of one control state.
+    pub fn activations_of(&self, s: PlaceId) -> u64 {
+        self.exit_counts.get(s.idx()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::{PlaceId, Value};
+
+    fn ev(arc: u32, value: i64, step: u64) -> ExternalEvent {
+        ExternalEvent {
+            arc: ArcId::new(arc),
+            value: Value::Def(value),
+            place: PlaceId::new(0),
+            step,
+        }
+    }
+
+    #[test]
+    fn per_arc_filtering() {
+        let t = Trace {
+            events: vec![ev(0, 1, 0), ev(1, 2, 0), ev(0, 3, 1)],
+            steps: 2,
+            firings: 2,
+            termination: Termination::Terminated,
+            watch: Vec::new(),
+            watched: Vec::new(),
+            fire_counts: Vec::new(),
+            exit_counts: Vec::new(),
+        };
+        assert_eq!(
+            t.values_on_arc(ArcId::new(0)),
+            vec![Value::Def(1), Value::Def(3)]
+        );
+        assert_eq!(t.values_on_arc(ArcId::new(9)), Vec::<Value>::new());
+        assert_eq!(t.event_count(), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Value-change-dump (VCD) export of watched-port waveforms.
+//!
+//! Capture ports with [`Simulator::watch_ports`](crate::Simulator::watch_ports)
+//! or [`Simulator::watch_registers`](crate::Simulator::watch_registers),
+//! then render the run as an IEEE-1364-style VCD file viewable in GTKWave
+//! & friends. One timestep per control step; values are 64-bit binary
+//! vectors, with `x` for the undefined value `⊥`.
+
+use crate::trace::Trace;
+use etpn_core::{Etpn, Value};
+use std::fmt::Write;
+
+/// VCD identifier codes: printable ASCII starting at `!`.
+fn code(i: usize) -> String {
+    let mut i = i;
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (i % 94) as u8) as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Render the watched ports of a trace as a VCD document.
+///
+/// Returns `None` when the trace captured nothing.
+pub fn render(g: &Etpn, trace: &Trace) -> Option<String> {
+    if trace.watch.is_empty() || trace.watched.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "$date etpn-sim run $end");
+    let _ = writeln!(out, "$version etpn-sim VCD export $end");
+    let _ = writeln!(out, "$timescale 1 ns $end");
+    let _ = writeln!(out, "$scope module design $end");
+    for (i, &p) in trace.watch.iter().enumerate() {
+        let port = g.dp.port(p);
+        let vx = g.dp.vertex(port.vertex);
+        let name = if vx.outputs.len() > 1 {
+            format!("{}_o{}", vx.name, port.index)
+        } else {
+            vx.name.clone()
+        };
+        let _ = writeln!(out, "$var wire 64 {} {} $end", code(i), name);
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    let fmt = |v: Value| -> String {
+        match v {
+            Value::Def(x) => format!("b{:b}", x as u64),
+            Value::Undef => "bx".to_string(),
+        }
+    };
+    let mut last: Vec<Option<Value>> = vec![None; trace.watch.len()];
+    for (step, row) in trace.watched.iter().enumerate() {
+        let mut emitted_time = false;
+        for (i, &v) in row.iter().enumerate() {
+            if last[i] != Some(v) {
+                if !emitted_time {
+                    let _ = writeln!(out, "#{step}");
+                    emitted_time = true;
+                }
+                let _ = writeln!(out, "{} {}", fmt(v), code(i));
+                last[i] = Some(v);
+            }
+        }
+    }
+    let _ = writeln!(out, "#{}", trace.watched.len());
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::env::ScriptedEnv;
+    use etpn_core::{EtpnBuilder, Op};
+
+    fn counter() -> Etpn {
+        let mut b = EtpnBuilder::new();
+        let one = b.constant(1, "one");
+        let add = b.operator(Op::Add, 2, "add");
+        let r = b.register("r");
+        let a0 = b.connect(b.out_port(r, 0), b.in_port(add, 0));
+        let a1 = b.connect(b.out_port(one, 0), b.in_port(add, 1));
+        let a2 = b.connect(b.out_port(add, 0), b.in_port(r, 0));
+        let s0 = b.place("s0");
+        b.control(s0, [a0, a1, a2]);
+        let t = b.transition("t");
+        b.flow_st(s0, t);
+        b.flow_ts(t, s0);
+        b.mark(s0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn vcd_renders_register_waveform() {
+        let g = counter();
+        let trace = Simulator::new(&g, ScriptedEnv::new())
+            .init_register("r", 0)
+            .watch_registers()
+            .run(5)
+            .unwrap();
+        let vcd = render(&g, &trace).expect("watched ports present");
+        assert!(vcd.contains("$var wire 64 ! r $end"), "{vcd}");
+        assert!(vcd.contains("#0"));
+        // r counts 0,1,2,3,4 — five value changes.
+        assert_eq!(vcd.matches("\nb").count() + usize::from(vcd.starts_with('b')), 5, "{vcd}");
+    }
+
+    #[test]
+    fn unwatched_trace_renders_nothing() {
+        let g = counter();
+        let trace = Simulator::new(&g, ScriptedEnv::new()).run(3).unwrap();
+        assert!(render(&g, &trace).is_none());
+    }
+
+    #[test]
+    fn undefined_values_render_as_x() {
+        let g = counter();
+        // No register init: r starts ⊥.
+        let trace = Simulator::new(&g, ScriptedEnv::new())
+            .watch_registers()
+            .run(2)
+            .unwrap();
+        let vcd = render(&g, &trace).unwrap();
+        assert!(vcd.contains("bx"), "{vcd}");
+    }
+
+    #[test]
+    fn id_codes_are_unique() {
+        let codes: Vec<String> = (0..200).map(code).collect();
+        let set: std::collections::HashSet<_> = codes.iter().collect();
+        assert_eq!(set.len(), codes.len());
+    }
+}

@@ -1,0 +1,173 @@
+//! Data-path cleanup passes run before optimisation.
+//!
+//! * [`share_constants`] — merge `Const` vertices with equal values. A
+//!   constant source has no input ports, so sharing one across *any* set of
+//!   control states — sequential or parallel — can never create an input
+//!   conflict; the Def. 4.6 sequential-use condition is unnecessary for
+//!   this one vertex class. The compiler materialises one constant per
+//!   occurrence; this pass folds them back.
+//! * [`remove_dead_units`] — drop internal vertices with no adjacent arcs
+//!   (left behind by other rewrites).
+
+use crate::error::SynthResult;
+use etpn_core::{Etpn, Op, VertexId};
+use std::collections::HashMap;
+
+/// Merge equal-valued constant vertices; returns the number removed.
+pub fn share_constants(g: &mut Etpn) -> SynthResult<usize> {
+    let mut canonical: HashMap<i64, VertexId> = HashMap::new();
+    let mut to_merge: Vec<(VertexId, VertexId)> = Vec::new();
+    for (v, vx) in g.dp.vertices().iter() {
+        if vx.is_external() || vx.outputs.len() != 1 {
+            continue;
+        }
+        if let Op::Const(c) = g.dp.port(vx.outputs[0]).operation() {
+            match canonical.get(&c) {
+                None => {
+                    canonical.insert(c, v);
+                }
+                Some(&keep) => to_merge.push((v, keep)),
+            }
+        }
+    }
+    let mut removed = 0;
+    for (vi, vj) in to_merge {
+        // Re-point the constant's outgoing arcs and drop the vertex.
+        let out_i = g.dp.out_port(vi, 0);
+        let out_j = g.dp.out_port(vj, 0);
+        for a in g.dp.outgoing_arcs(out_i).to_vec() {
+            g.dp.repoint_from(a, out_j)?;
+        }
+        g.ctl.substitute_guard_port(out_i, out_j);
+        g.dp.remove_vertex(vi)?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
+/// Remove internal vertices with no adjacent arcs; returns the count.
+pub fn remove_dead_units(g: &mut Etpn) -> SynthResult<usize> {
+    let dead: Vec<VertexId> = g
+        .dp
+        .vertices()
+        .iter()
+        .filter(|(v, vx)| {
+            !vx.is_external()
+                && vx
+                    .inputs
+                    .iter()
+                    .chain(&vx.outputs)
+                    .all(|&p| {
+                        g.dp.incoming_arcs(p).is_empty() && g.dp.outgoing_arcs(p).is_empty()
+                    })
+                && {
+                    // Guards may reference an otherwise-unconnected port.
+                    let _ = v;
+                    true
+                }
+        })
+        .map(|(v, _)| v)
+        .collect();
+    let mut removed = 0;
+    for v in dead {
+        let guarded = g
+            .dp
+            .vertex(v)
+            .outputs
+            .iter()
+            .any(|&p| !g.ctl.guarded_by(p).is_empty());
+        if !guarded {
+            g.dp.remove_vertex(v)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use etpn_lang::parse;
+    use etpn_sim::{ScriptedEnv, Simulator};
+
+    #[test]
+    fn constants_are_shared_across_states() {
+        let d = compile(&parse(
+            "design t { in x; out y; reg r1, r2;
+                r1 = x + 3;
+                r2 = r1 * 3;
+                y = r2; }",
+        )
+        .unwrap())
+        .unwrap();
+        let mut g = d.etpn.clone();
+        let consts_before = g
+            .dp
+            .vertices()
+            .iter()
+            .filter(|(_, vx)| {
+                vx.outputs.len() == 1
+                    && matches!(g.dp.port(vx.outputs[0]).operation(), Op::Const(_))
+            })
+            .count();
+        assert_eq!(consts_before, 2, "one per occurrence of `3`");
+        let removed = share_constants(&mut g).unwrap();
+        assert_eq!(removed, 1);
+        g.validate().unwrap();
+        // Behaviour identical.
+        let run = |g: &Etpn| {
+            Simulator::new(g, ScriptedEnv::new().with_stream("x", [4]))
+                .run(50)
+                .unwrap()
+                .values_on_named_output(g, "y")
+        };
+        assert_eq!(run(&d.etpn), vec![21]);
+        assert_eq!(run(&g), vec![21]);
+        // Still properly designed (shared constants are conflict-free).
+        let rep = etpn_analysis::check_properly_designed(&g);
+        assert!(rep.is_proper(), "{}", rep.summary());
+    }
+
+    #[test]
+    fn sharing_across_parallel_branches_is_safe() {
+        let d = compile(&parse(
+            "design t { in a; out y, z; reg r1, r2, s1, s2;
+                r1 = a;
+                r2 = a;
+                par { { s1 = r1 + 7; } { s2 = r2 * 7; } }
+                y = s1;
+                z = s2; }",
+        )
+        .unwrap())
+        .unwrap();
+        let mut g = d.etpn.clone();
+        let removed = share_constants(&mut g).unwrap();
+        assert_eq!(removed, 1);
+        let run = |g: &Etpn| {
+            let t = Simulator::new(g, ScriptedEnv::new().with_stream("a", [2, 2]))
+                .run(100)
+                .unwrap();
+            (
+                t.values_on_named_output(g, "y"),
+                t.values_on_named_output(g, "z"),
+            )
+        };
+        assert_eq!(run(&g), (vec![9], vec![14]));
+        assert_eq!(run(&d.etpn), run(&g));
+    }
+
+    #[test]
+    fn dead_unit_removal() {
+        let d = compile(&parse("design t { in x; out y; reg r; r = x; y = r; }").unwrap())
+            .unwrap();
+        let mut g = d.etpn;
+        // Create an orphan.
+        g.dp.add_unit("orphan", 2, &[Op::Add]).unwrap();
+        let before = g.dp.vertices().len();
+        let removed = remove_dead_units(&mut g).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(g.dp.vertices().len(), before - 1);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,144 @@
+//! Design cost and performance estimation.
+//!
+//! * **Area**: sum of module areas over data-path vertices, plus inferred
+//!   multiplexers — an input port driven by `k > 1` arcs needs a `k-1`-wide
+//!   mux tree in the implementation (the merger transformation trades
+//!   functional-unit area for exactly this interconnect cost).
+//! * **Cycle time**: the longest active combinational chain over all
+//!   control states (the clock period the controller must respect).
+//! * **Latency bound**: the delay-weighted critical path through the
+//!   control structure (one loop iteration), the optimiser's performance
+//!   proxy; exact makespans come from simulation in the benches.
+
+use crate::module_lib::ModuleLibrary;
+use etpn_analysis::critical_path::{critical_path, state_delay};
+use etpn_core::{Etpn, PlaceId};
+
+/// Static cost/performance summary of one design point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CostReport {
+    /// Functional-unit + register area.
+    pub unit_area: u64,
+    /// Inferred multiplexer area.
+    pub mux_area: u64,
+    /// Total area.
+    pub total_area: u64,
+    /// Maximum per-state combinational delay (clock period).
+    pub cycle_time: u64,
+    /// Delay-weighted control critical path (one loop iteration).
+    pub latency_bound: u64,
+    /// Number of control states.
+    pub states: usize,
+    /// Number of data-path vertices.
+    pub vertices: usize,
+}
+
+impl CostReport {
+    /// A scalar objective `area × latency` (lower is better) used by the
+    /// balanced optimisation mode.
+    pub fn area_delay_product(&self) -> u64 {
+        self.total_area.saturating_mul(self.latency_bound.max(1))
+    }
+}
+
+/// Compute the static cost report for a design under a library.
+pub fn cost_report(g: &Etpn, lib: &ModuleLibrary) -> CostReport {
+    let mut unit_area = 0u64;
+    for (_, vx) in g.dp.vertices().iter() {
+        for &p in &vx.outputs {
+            unit_area += lib.area(g.dp.port(p).operation());
+        }
+    }
+    // Mux inference: every input port with k > 1 pending arcs needs k-1
+    // 2-way muxes.
+    let mut mux_area = 0u64;
+    for (p, port) in g.dp.ports().iter() {
+        if port.is_input() {
+            let k = g.dp.incoming_arcs(p).len() as u64;
+            if k > 1 {
+                mux_area += (k - 1) * lib.mux_area();
+            }
+        }
+    }
+    let delay = lib.delay_fn();
+    let cycle_time = g
+        .ctl
+        .places()
+        .ids()
+        .map(|s: PlaceId| state_delay(g, s, &delay))
+        .max()
+        .unwrap_or(0);
+    let latency_bound = critical_path(g, &delay).length;
+    CostReport {
+        unit_area,
+        mux_area,
+        total_area: unit_area + mux_area,
+        cycle_time,
+        latency_bound,
+        states: g.ctl.places().len(),
+        vertices: g.dp.vertices().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::{EtpnBuilder, Op};
+
+    fn small() -> Etpn {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let add = b.operator(Op::Add, 2, "add");
+        let r = b.register("r");
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(add, 0));
+        let a1 = b.connect(b.out_port(x, 0), b.in_port(add, 1));
+        let a2 = b.connect(b.out_port(add, 0), b.in_port(r, 0));
+        let s = b.place("s");
+        b.control(s, [a0, a1, a2]);
+        b.mark(s);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn area_sums_modules() {
+        let g = small();
+        let lib = ModuleLibrary::standard();
+        let r = cost_report(&g, &lib);
+        // input(0) + add(6) + reg(8)
+        assert_eq!(r.unit_area, 14);
+        assert_eq!(r.mux_area, 0);
+        assert_eq!(r.total_area, 14);
+        assert_eq!(r.vertices, 3);
+    }
+
+    #[test]
+    fn mux_inference_counts_extra_drivers() {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let r = b.register("r");
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(r, 0));
+        let a1 = b.connect(b.out_port(y, 0), b.in_port(r, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        b.control(s0, [a0]);
+        b.control(s1, [a1]);
+        b.seq(s0, s1, "t");
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let lib = ModuleLibrary::standard();
+        let rep = cost_report(&g, &lib);
+        assert_eq!(rep.mux_area, lib.mux_area(), "two drivers ⇒ one mux");
+    }
+
+    #[test]
+    fn cycle_time_is_max_state_delay() {
+        let g = small();
+        let lib = ModuleLibrary::standard();
+        let r = cost_report(&g, &lib);
+        // chain: input(1) + add(2) ending at the register's input.
+        assert_eq!(r.cycle_time, 3);
+        assert_eq!(r.latency_bound, 3);
+        assert!(r.area_delay_product() >= r.total_area);
+    }
+}

@@ -1,0 +1,373 @@
+//! Operation-level data-flow graphs and the classic scheduling baselines
+//! (experiment E6).
+//!
+//! The paper's transformational approach is compared against the standard
+//! HLS schedulers of its era: **ASAP** (as soon as possible), **ALAP** (as
+//! late as possible), and **resource-constrained list scheduling**. They
+//! operate on the operation DFG of a basic block — the representation those
+//! algorithms were defined on — extracted from the same behavioural
+//! programs our compiler consumes.
+
+use crate::error::{SynthError, SynthResult};
+use etpn_core::Op;
+use etpn_lang::{Expr, Stmt, UnOp};
+use std::collections::HashMap;
+
+/// One operation node.
+#[derive(Clone, Debug)]
+pub struct DfgNode {
+    /// The operation.
+    pub op: Op,
+    /// Indices of nodes whose values this one consumes.
+    pub preds: Vec<usize>,
+    /// Human-readable label.
+    pub label: String,
+}
+
+/// An operation-level data-flow graph (acyclic by construction).
+#[derive(Clone, Debug, Default)]
+pub struct Dfg {
+    /// Nodes in creation (topological) order.
+    pub nodes: Vec<DfgNode>,
+}
+
+/// Resource classes for constrained scheduling.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ResourceClass {
+    /// Multipliers.
+    Multiplier,
+    /// Dividers.
+    Divider,
+    /// Adders/subtractors/comparators (ALUs).
+    Alu,
+    /// Logic/shift units.
+    Logic,
+    /// Free resources (constants, moves, muxes).
+    Free,
+}
+
+/// Classify an operation into its resource class.
+pub fn resource_class(op: Op) -> ResourceClass {
+    match op {
+        Op::Mul => ResourceClass::Multiplier,
+        Op::Div | Op::Rem => ResourceClass::Divider,
+        Op::Add | Op::Sub | Op::Neg | Op::Abs | Op::Min | Op::Max | Op::Eq | Op::Ne
+        | Op::Lt | Op::Le | Op::Gt | Op::Ge => ResourceClass::Alu,
+        Op::And | Op::Or | Op::Xor | Op::Not | Op::Shl | Op::Shr => ResourceClass::Logic,
+        Op::Mux | Op::Pass | Op::Const(_) | Op::Reg | Op::Input => ResourceClass::Free,
+    }
+}
+
+/// Default operation latency in control steps (multi-cycle multiply/divide,
+/// as in the classic diffeq/EWF studies).
+pub fn default_latency(op: Op) -> u64 {
+    match op {
+        Op::Mul => 2,
+        Op::Div | Op::Rem => 4,
+        // Sources are available at step 0: constants, moves, register and
+        // input reads cost nothing, as in the classic formulations.
+        Op::Const(_) | Op::Pass | Op::Input | Op::Reg => 0,
+        _ => 1,
+    }
+}
+
+impl Dfg {
+    /// Number of operation nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// ASAP schedule: earliest start time per node under unlimited
+    /// resources. Returns `(starts, makespan)`.
+    pub fn asap(&self, latency: &dyn Fn(Op) -> u64) -> (Vec<u64>, u64) {
+        let mut start = vec![0u64; self.nodes.len()];
+        let mut makespan = 0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let s = n
+                .preds
+                .iter()
+                .map(|&p| start[p] + latency(self.nodes[p].op))
+                .max()
+                .unwrap_or(0);
+            start[i] = s;
+            makespan = makespan.max(s + latency(n.op));
+        }
+        (start, makespan)
+    }
+
+    /// ALAP schedule against `deadline`. Returns latest start times.
+    pub fn alap(&self, latency: &dyn Fn(Op) -> u64, deadline: u64) -> Vec<u64> {
+        let mut latest = vec![u64::MAX; self.nodes.len()];
+        // Successor map.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &p in &n.preds {
+                succs[p].push(i);
+            }
+        }
+        for i in (0..self.nodes.len()).rev() {
+            let lat = latency(self.nodes[i].op);
+            let bound = succs[i]
+                .iter()
+                .map(|&sx| latest[sx])
+                .min()
+                .unwrap_or(deadline);
+            latest[i] = bound.saturating_sub(lat);
+        }
+        latest
+    }
+
+    /// Resource-constrained list scheduling with ALAP-slack priority.
+    ///
+    /// `resources` caps simultaneously *starting and running* operations per
+    /// class (`Free` is never constrained). Returns `(starts, makespan)`.
+    pub fn list_schedule(
+        &self,
+        latency: &dyn Fn(Op) -> u64,
+        resources: &HashMap<ResourceClass, usize>,
+    ) -> (Vec<u64>, u64) {
+        let n = self.nodes.len();
+        let (_, asap_span) = self.asap(latency);
+        let alap = self.alap(latency, asap_span);
+        let mut start = vec![u64::MAX; n];
+        let mut done = vec![false; n];
+        let mut finished = vec![0u64; n];
+        let mut remaining = n;
+        let mut t = 0u64;
+        // Track running ops per class: (finish_time, class).
+        let mut running: Vec<(u64, ResourceClass)> = Vec::new();
+        while remaining > 0 {
+            running.retain(|&(f, _)| f > t);
+            // Sweep repeatedly within the step: zero-latency sources
+            // (constants, register/input reads) complete immediately and can
+            // enable consumers in the same step.
+            loop {
+                let mut ready: Vec<usize> = (0..n)
+                    .filter(|&i| {
+                        !done[i]
+                            && self.nodes[i]
+                                .preds
+                                .iter()
+                                .all(|&p| done[p] && finished[p] <= t)
+                    })
+                    .collect();
+                ready.sort_by_key(|&i| alap[i]);
+                let mut scheduled_any = false;
+                for i in ready {
+                    let class = resource_class(self.nodes[i].op);
+                    let in_use = running.iter().filter(|&&(_, c)| c == class).count();
+                    let cap = match class {
+                        ResourceClass::Free => usize::MAX,
+                        _ => resources.get(&class).copied().unwrap_or(usize::MAX),
+                    };
+                    if in_use < cap {
+                        start[i] = t;
+                        let f = t + latency(self.nodes[i].op);
+                        finished[i] = f;
+                        done[i] = true;
+                        remaining -= 1;
+                        scheduled_any = true;
+                        if class != ResourceClass::Free {
+                            running.push((f, class));
+                        }
+                    }
+                }
+                if !scheduled_any {
+                    break;
+                }
+            }
+            t += 1;
+        }
+        let makespan = finished.iter().copied().max().unwrap_or(0);
+        (start, makespan)
+    }
+
+    /// Count of nodes per resource class (allocation lower bound).
+    pub fn class_counts(&self) -> HashMap<ResourceClass, usize> {
+        let mut m = HashMap::new();
+        for n in &self.nodes {
+            *m.entry(resource_class(n.op)).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Build the op-level DFG of a straight-line block of assignments.
+///
+/// Register and input reads resolve to the most recent writer in the block
+/// (or a fresh source node); `if`/`while`/`par` are rejected — the
+/// baselines are basic-block schedulers.
+pub fn dfg_from_block(stmts: &[Stmt]) -> SynthResult<Dfg> {
+    let mut dfg = Dfg::default();
+    // Name → node currently holding its value.
+    let mut env: HashMap<String, usize> = HashMap::new();
+
+    fn expr_node(
+        dfg: &mut Dfg,
+        env: &mut HashMap<String, usize>,
+        e: &Expr,
+    ) -> SynthResult<usize> {
+        Ok(match e {
+            Expr::Const(v) => push(dfg, Op::Const(*v), vec![], format!("k{v}")),
+            Expr::Var(n) => match env.get(n) {
+                Some(&i) => i,
+                None => {
+                    let i = push(dfg, Op::Input, vec![], n.clone());
+                    env.insert(n.clone(), i);
+                    i
+                }
+            },
+            Expr::Unary(op, inner) => {
+                let a = expr_node(dfg, env, inner)?;
+                match op {
+                    UnOp::Neg => push(dfg, Op::Neg, vec![a], "neg".into()),
+                    UnOp::Not => push(dfg, Op::Not, vec![a], "not".into()),
+                    UnOp::LNot => {
+                        let z = push(dfg, Op::Const(0), vec![], "k0".into());
+                        push(dfg, Op::Eq, vec![a, z], "lnot".into())
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let pa = expr_node(dfg, env, a)?;
+                let pb = expr_node(dfg, env, b)?;
+                let o = crate::compile::compile_binop(*op);
+                push(dfg, o, vec![pa, pb], o.mnemonic().to_string())
+            }
+            Expr::Ternary(c, a, b) => {
+                let pc = expr_node(dfg, env, c)?;
+                let pa = expr_node(dfg, env, a)?;
+                let pb = expr_node(dfg, env, b)?;
+                push(dfg, Op::Mux, vec![pc, pb, pa], "mux".into())
+            }
+        })
+    }
+
+    fn push(dfg: &mut Dfg, op: Op, preds: Vec<usize>, label: String) -> usize {
+        dfg.nodes.push(DfgNode { op, preds, label });
+        dfg.nodes.len() - 1
+    }
+
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, expr } => {
+                let root = expr_node(&mut dfg, &mut env, expr)?;
+                env.insert(target.clone(), root);
+            }
+            other => {
+                return Err(SynthError::NotProper(format!(
+                    "DFG extraction needs a straight-line block, found {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(dfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_lang::parse;
+
+    fn block(src_body: &str) -> Dfg {
+        let src = format!("design t {{ in a, b, c, d; reg r1, r2, r3, r4; {src_body} }}");
+        let prog = parse(&src).unwrap();
+        dfg_from_block(&prog.body).unwrap()
+    }
+
+    #[test]
+    fn chain_asap() {
+        // r1 = a*b; r2 = r1*c; r3 = r2*d  — a pure multiply chain.
+        let d = block("r1 = a * b; r2 = r1 * c; r3 = r2 * d;");
+        let (_, span) = d.asap(&default_latency);
+        assert_eq!(span, 6, "three dependent 2-cycle multiplies");
+    }
+
+    #[test]
+    fn parallel_ops_overlap_in_asap() {
+        let d = block("r1 = a * b; r2 = c * d;");
+        let (starts, span) = d.asap(&default_latency);
+        assert_eq!(span, 2, "independent multiplies overlap");
+        let mul_starts: Vec<u64> = d
+            .nodes
+            .iter()
+            .zip(&starts)
+            .filter(|(n, _)| n.op == Op::Mul)
+            .map(|(_, &s)| s)
+            .collect();
+        assert_eq!(mul_starts, vec![0, 0]);
+    }
+
+    #[test]
+    fn alap_pushes_late() {
+        let d = block("r1 = a * b; r2 = c + 1; r3 = r1 + r2;");
+        let (_, span) = d.asap(&default_latency);
+        let alap = d.alap(&default_latency, span);
+        // The lone add (c+1) can start as late as span-1-1.
+        let add_idx = d
+            .nodes
+            .iter()
+            .position(|n| n.op == Op::Add && n.label == "+")
+            .unwrap();
+        assert!(alap[add_idx] >= 1);
+    }
+
+    #[test]
+    fn list_schedule_respects_resource_cap() {
+        // Two independent multiplies, one multiplier: must serialise.
+        let d = block("r1 = a * b; r2 = c * d;");
+        let caps: HashMap<ResourceClass, usize> =
+            [(ResourceClass::Multiplier, 1)].into_iter().collect();
+        let (starts, span) = d.list_schedule(&default_latency, &caps);
+        assert_eq!(span, 4, "2-cycle multiplies back to back");
+        let mut mul_starts: Vec<u64> = d
+            .nodes
+            .iter()
+            .zip(&starts)
+            .filter(|(n, _)| n.op == Op::Mul)
+            .map(|(_, &s)| s)
+            .collect();
+        mul_starts.sort_unstable();
+        assert_eq!(mul_starts, vec![0, 2]);
+    }
+
+    #[test]
+    fn list_schedule_with_plenty_matches_asap() {
+        let d = block("r1 = a * b; r2 = c * d; r3 = r1 + r2;");
+        let caps: HashMap<ResourceClass, usize> =
+            [(ResourceClass::Multiplier, 2), (ResourceClass::Alu, 2)]
+                .into_iter()
+                .collect();
+        let (_, asap_span) = d.asap(&default_latency);
+        let (_, list_span) = d.list_schedule(&default_latency, &caps);
+        assert_eq!(asap_span, list_span);
+    }
+
+    #[test]
+    fn raw_dependency_tracked_through_registers() {
+        let d = block("r1 = a + b; r2 = r1 + c;");
+        let (_, span) = d.asap(&default_latency);
+        assert_eq!(span, 2, "second add depends on first");
+    }
+
+    #[test]
+    fn control_flow_rejected() {
+        let src = "design t { reg r; while (r < 1) { r = r + 1; } }";
+        let prog = parse(src).unwrap();
+        assert!(dfg_from_block(&prog.body).is_err());
+    }
+
+    #[test]
+    fn class_counts() {
+        let d = block("r1 = a * b; r2 = a + b; r3 = a & b;");
+        let c = d.class_counts();
+        assert_eq!(c[&ResourceClass::Multiplier], 1);
+        assert_eq!(c[&ResourceClass::Alu], 1);
+        assert_eq!(c[&ResourceClass::Logic], 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Synthesis error types.
+
+/// Errors raised by the synthesis pipeline.
+#[derive(Debug)]
+pub enum SynthError {
+    /// Front-end failure (lexing, parsing, semantic checking).
+    Lang(etpn_lang::LangError),
+    /// Core model construction failure.
+    Core(etpn_core::CoreError),
+    /// The compiled design failed the properly-designed checks (Def. 3.2).
+    NotProper(String),
+    /// A transformation inside the optimiser failed unexpectedly.
+    Transform(etpn_transform::TransformError),
+    /// Simulation failure while measuring a design.
+    Sim(etpn_sim::SimError),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::Lang(e) => write!(f, "front-end: {e}"),
+            SynthError::Core(e) => write!(f, "model: {e}"),
+            SynthError::NotProper(m) => write!(f, "design not properly designed: {m}"),
+            SynthError::Transform(e) => write!(f, "transformation: {e}"),
+            SynthError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<etpn_lang::LangError> for SynthError {
+    fn from(e: etpn_lang::LangError) -> Self {
+        SynthError::Lang(e)
+    }
+}
+impl From<etpn_core::CoreError> for SynthError {
+    fn from(e: etpn_core::CoreError) -> Self {
+        SynthError::Core(e)
+    }
+}
+impl From<etpn_transform::TransformError> for SynthError {
+    fn from(e: etpn_transform::TransformError) -> Self {
+        SynthError::Transform(e)
+    }
+}
+impl From<etpn_sim::SimError> for SynthError {
+    fn from(e: etpn_sim::SimError) -> Self {
+        SynthError::Sim(e)
+    }
+}
+
+/// Result alias for synthesis operations.
+pub type SynthResult<T> = Result<T, SynthError>;

@@ -1,0 +1,41 @@
+//! # etpn-synth — CAMAD-style transformational high-level synthesis
+//!
+//! The synthesis environment of *Peng, ICPP 1988* §5, rebuilt end to end:
+//!
+//! * [`mod@compile`] — behavioural program → preliminary maximally serial ETPN;
+//! * [`module_lib`] — the module library implementing the operation set;
+//! * [`cost`] — area / cycle-time / latency estimation;
+//! * [`optimizer`] — the critical-path-guided transformation loop over the
+//!   semantics-preserving rewrites of `etpn-transform`;
+//! * [`bind`] — allocation/binding read off the final design;
+//! * [`mod@netlist`] — structural netlist + one-hot controller emission;
+//! * [`dfg`] — operation-level DFGs and the classic scheduling baselines
+//!   (ASAP, ALAP, resource-constrained list scheduling) for experiment E6;
+//! * [`pipeline`] — the one-call `synthesize` entry point.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bind;
+pub mod cleanup;
+pub mod compile;
+pub mod cost;
+pub mod dfg;
+pub mod error;
+pub mod module_lib;
+pub mod netlist;
+pub mod optimizer;
+pub mod pipeline;
+pub mod verilog;
+
+pub use bind::{binding_report, BindingReport};
+pub use cleanup::{remove_dead_units, share_constants};
+pub use compile::{compile, CompiledDesign};
+pub use cost::{cost_report, CostReport};
+pub use dfg::{dfg_from_block, Dfg, ResourceClass};
+pub use error::{SynthError, SynthResult};
+pub use module_lib::{Grade, ModuleLibrary, ModuleSpec};
+pub use netlist::netlist;
+pub use optimizer::{MoveSelection, Objective, Optimizer, OptimizerReport};
+pub use pipeline::{compile_source, synthesize, SynthesisResult};
+pub use verilog::verilog;

@@ -1,0 +1,135 @@
+//! The module library: hardware implementations for the abstract operation
+//! set (paper §2: "we assume that some modules exist in a module library
+//! which can perform the defined operations of the data path").
+//!
+//! Each operation class maps to a module with an **area** (arbitrary
+//! gate-equivalent units) and a **delay** (arbitrary time units shaping the
+//! achievable clock period). Absolute values are synthetic; only the
+//! relative shape matters for the reproduction (multiply ≫ add > logic),
+//! as in the classic HLS libraries of the paper's era. Alternative speed
+//! grades let the ablation benches trade area for delay.
+
+use etpn_core::Op;
+
+/// One implementable module.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ModuleSpec {
+    /// Area in gate-equivalents.
+    pub area: u64,
+    /// Propagation delay in time units.
+    pub delay: u64,
+}
+
+/// Library speed grade.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Grade {
+    /// Balanced area/delay (default).
+    #[default]
+    Standard,
+    /// Faster and larger (carry-lookahead adders, Wallace multipliers…).
+    Fast,
+    /// Smaller and slower (ripple/iterative units).
+    Small,
+}
+
+/// A complete module library.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleLibrary {
+    grade: Grade,
+}
+
+impl ModuleLibrary {
+    /// The standard-grade library.
+    pub fn standard() -> Self {
+        Self {
+            grade: Grade::Standard,
+        }
+    }
+
+    /// A library of the given grade.
+    pub fn with_grade(grade: Grade) -> Self {
+        Self { grade }
+    }
+
+    /// The grade of this library.
+    pub fn grade(&self) -> Grade {
+        self.grade
+    }
+
+    /// The module implementing `op`.
+    pub fn module(&self, op: Op) -> ModuleSpec {
+        let (area, delay) = match op {
+            Op::Mul => (18, 4),
+            Op::Div | Op::Rem => (30, 8),
+            Op::Add | Op::Sub => (6, 2),
+            Op::Neg | Op::Abs => (4, 2),
+            Op::Min | Op::Max => (7, 2),
+            Op::And | Op::Or | Op::Xor | Op::Not => (2, 1),
+            Op::Shl | Op::Shr => (5, 1),
+            Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => (5, 2),
+            Op::Mux => (3, 1),
+            Op::Pass => (1, 1),
+            Op::Const(_) => (1, 0),
+            Op::Reg => (8, 1),
+            Op::Input => (0, 1),
+        };
+        let spec = ModuleSpec { area, delay };
+        match self.grade {
+            Grade::Standard => spec,
+            Grade::Fast => ModuleSpec {
+                area: spec.area + spec.area / 2,
+                delay: spec.delay.div_ceil(2),
+            },
+            Grade::Small => ModuleSpec {
+                area: spec.area.div_ceil(2),
+                delay: spec.delay * 2,
+            },
+        }
+    }
+
+    /// Area of the module for `op`.
+    pub fn area(&self, op: Op) -> u64 {
+        self.module(op).area
+    }
+
+    /// Delay of the module for `op`.
+    pub fn delay(&self, op: Op) -> u64 {
+        self.module(op).delay
+    }
+
+    /// Area of the multiplexer inferred per extra driver of an input port.
+    pub fn mux_area(&self) -> u64 {
+        self.module(Op::Mux).area
+    }
+
+    /// A delay closure suitable for `etpn_analysis::critical_path`.
+    pub fn delay_fn(&self) -> impl Fn(Op) -> u64 + '_ {
+        move |op| self.delay(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_shape_holds() {
+        let lib = ModuleLibrary::standard();
+        assert!(lib.area(Op::Mul) > lib.area(Op::Add));
+        assert!(lib.delay(Op::Mul) > lib.delay(Op::Add));
+        assert!(lib.delay(Op::Div) > lib.delay(Op::Mul));
+        assert!(lib.area(Op::And) < lib.area(Op::Add));
+        assert_eq!(lib.delay(Op::Const(5)), 0);
+    }
+
+    #[test]
+    fn grades_trade_area_for_delay() {
+        let std_lib = ModuleLibrary::standard();
+        let fast = ModuleLibrary::with_grade(Grade::Fast);
+        let small = ModuleLibrary::with_grade(Grade::Small);
+        assert!(fast.delay(Op::Mul) < std_lib.delay(Op::Mul));
+        assert!(fast.area(Op::Mul) > std_lib.area(Op::Mul));
+        assert!(small.area(Op::Mul) < std_lib.area(Op::Mul));
+        assert!(small.delay(Op::Mul) > std_lib.delay(Op::Mul));
+    }
+}

@@ -1,0 +1,338 @@
+//! Vertex merger: the control-invariant transformation (Def. 4.6, Thm. 4.2).
+//!
+//! Two vertices with the same operational definition and port structure,
+//! whose use states are in sequential order, are merged: every arc touching
+//! `Vi` is re-pointed to the corresponding port of `Vj`, guards on `Vi`'s
+//! outputs are substituted (`G'`), and `Vi` is removed. "The intrinsic
+//! property of a merger operation is to share hardware resources … two
+//! addition operations can be implemented with the same adder."
+//!
+//! ## A soundness note beyond the paper
+//!
+//! For *combinational* vertices, sequential use states suffice: the shared
+//! unit computes from whatever arcs are open, and those never overlap in
+//! time. For *sequential* vertices (registers) Def. 4.6's condition is not
+//! enough — a register holds state between activations, so two registers
+//! whose live ranges interleave (`write r1; write r2; read r2; read r1`)
+//! would clobber each other even in a fully serial schedule. We therefore
+//! additionally require, for sequential vertices, that the *complete usage*
+//! of one vertex precedes the complete usage of the other (no interleaving
+//! and no mutual reachability through loops). This is the static live-range
+//! criterion classic register allocation uses; without it the merged design
+//! is observably different, which our randomized oracle (E2) demonstrates.
+
+use crate::error::{TransformError, TransformResult};
+use crate::legality::{require_sequential_uses, use_states};
+use etpn_core::{ControlRelations, Etpn, PlaceId, VertexId};
+
+/// Applies vertex mergers.
+pub struct VertexMerger;
+
+/// Everything checked and precomputed for one merger.
+#[derive(Clone, Debug)]
+pub struct MergePlan {
+    /// Vertex to dissolve.
+    pub vi: VertexId,
+    /// Vertex that absorbs it.
+    pub vj: VertexId,
+    /// Use states of `vi` (diagnostics).
+    pub uses_i: Vec<PlaceId>,
+    /// Use states of `vj` (diagnostics).
+    pub uses_j: Vec<PlaceId>,
+}
+
+impl VertexMerger {
+    /// Check all preconditions for merging `vi` into `vj`.
+    pub fn check(g: &Etpn, vi: VertexId, vj: VertexId) -> TransformResult<MergePlan> {
+        let rel = ControlRelations::compute_acyclic(&g.ctl);
+        Self::check_with(g, vi, vj, &rel)
+    }
+
+    /// [`VertexMerger::check`] against a precomputed **acyclic** relation
+    /// snapshot (candidate enumeration shares one snapshot across all
+    /// pairs). The acyclic skeleton is essential: inside a loop the plain
+    /// `⇒` relates every body pair, which would make the sequential-order
+    /// condition vacuous — see `ControlRelations::compute_acyclic`.
+    pub fn check_with(
+        g: &Etpn,
+        vi: VertexId,
+        vj: VertexId,
+        rel: &ControlRelations,
+    ) -> TransformResult<MergePlan> {
+        if vi == vj {
+            return Err(TransformError::ShapeMismatch("identical vertices".into()));
+        }
+        if !g.dp.vertices().contains(vi) {
+            return Err(TransformError::Dangling("vertex", vi.0));
+        }
+        if !g.dp.vertices().contains(vj) {
+            return Err(TransformError::Dangling("vertex", vj.0));
+        }
+        if g.dp.vertex(vi).is_external() || g.dp.vertex(vj).is_external() {
+            return Err(TransformError::ShapeMismatch(
+                "external vertices are the interface; they cannot merge".into(),
+            ));
+        }
+        if !g.dp.same_port_structure(vi, vj) {
+            return Err(TransformError::IncompatibleVertices(vi, vj));
+        }
+        let uses_i = use_states(g, vi);
+        let uses_j = use_states(g, vj);
+        require_sequential_uses(rel, &uses_i, &uses_j)?;
+
+        if g.dp.is_sequential_vertex(vi) {
+            // Live-range criterion for storage: all uses of one strictly
+            // precede all uses of the other on the acyclic skeleton…
+            let all_before = |a: &[PlaceId], b: &[PlaceId]| {
+                a.iter().all(|&sa| {
+                    b.iter().all(|&sb| {
+                        sa == sb || (rel.leads_to(sa, sb) && !rel.leads_to(sb, sa))
+                    })
+                })
+            };
+            if !(all_before(&uses_i, &uses_j) || all_before(&uses_j, &uses_i)) {
+                return Err(TransformError::LiveRangeOverlap(vi, vj));
+            }
+            // …and no use state sits on a control cycle: a loop-carried
+            // register is live across the back edge, where a same-skeleton
+            // ordering cannot rule out cross-iteration clobbering.
+            let cyclic = ControlRelations::compute(&g.ctl);
+            for &s in uses_i.iter().chain(&uses_j) {
+                if cyclic.leads_to(s, s) {
+                    return Err(TransformError::LiveRangeOverlap(vi, vj));
+                }
+            }
+        }
+        Ok(MergePlan {
+            vi,
+            vj,
+            uses_i,
+            uses_j,
+        })
+    }
+
+    /// Perform the merger of `vi` into `vj` (Def. 4.6).
+    pub fn apply(g: &mut Etpn, vi: VertexId, vj: VertexId) -> TransformResult<MergePlan> {
+        let plan = Self::check(g, vi, vj)?;
+        let (inputs_i, outputs_i) = {
+            let vx = g.dp.vertex(vi);
+            (vx.inputs.clone(), vx.outputs.clone())
+        };
+        let (inputs_j, outputs_j) = {
+            let vx = g.dp.vertex(vj);
+            (vx.inputs.clone(), vx.outputs.clone())
+        };
+        // Re-point arcs: (O_i, I) → (O_j, I) and (O, I_i) → (O, I_j).
+        for (&pi, &pj) in outputs_i.iter().zip(&outputs_j) {
+            for a in g.dp.outgoing_arcs(pi).to_vec() {
+                g.dp.repoint_from(a, pj)?;
+            }
+            // G' substitution: guards watching Vi's output now watch Vj's.
+            g.ctl.substitute_guard_port(pi, pj);
+        }
+        for (&pi, &pj) in inputs_i.iter().zip(&inputs_j) {
+            for a in g.dp.incoming_arcs(pi).to_vec() {
+                g.dp.repoint_to(a, pj)?;
+            }
+        }
+        g.dp.remove_vertex(vi)?;
+        Ok(plan)
+    }
+
+    /// All merger candidates `(vi, vj)` currently legal, in id order.
+    pub fn candidates(g: &Etpn) -> Vec<(VertexId, VertexId)> {
+        let rel = ControlRelations::compute_acyclic(&g.ctl);
+        let ids: Vec<VertexId> = g.dp.vertices().ids().collect();
+        let mut out = Vec::new();
+        for (i, &vi) in ids.iter().enumerate() {
+            for &vj in &ids[i + 1..] {
+                if Self::check_with(g, vi, vj, &rel).is_ok() {
+                    out.push((vi, vj));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::{EtpnBuilder, Op};
+
+    /// Two adders used in sequential states s0 and s1.
+    fn two_adders_sequential() -> (Etpn, VertexId, VertexId) {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let add1 = b.operator(Op::Add, 2, "add1");
+        let add2 = b.operator(Op::Add, 2, "add2");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        // s0: r1 := x + x (via add1); s1: r2 := r1 + r1 (via add2).
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(add1, 0));
+        let a1 = b.connect(b.out_port(x, 0), b.in_port(add1, 1));
+        let a2 = b.connect(b.out_port(add1, 0), b.in_port(r1, 0));
+        let a3 = b.connect(b.out_port(r1, 0), b.in_port(add2, 0));
+        let a4 = b.connect(b.out_port(r1, 0), b.in_port(add2, 1));
+        let a5 = b.connect(b.out_port(add2, 0), b.in_port(r2, 0));
+        let s = b.serial_chain(2, "s");
+        b.control(s[0], [a0, a1, a2]);
+        b.control(s[1], [a3, a4, a5]);
+        let g = b.finish().unwrap();
+        let add1 = g.dp.vertex_by_name("add1").unwrap();
+        let add2 = g.dp.vertex_by_name("add2").unwrap();
+        (g, add1, add2)
+    }
+
+    #[test]
+    fn merge_sequentially_used_adders() {
+        let (mut g, add1, add2) = two_adders_sequential();
+        let before = g.dp.arcs().len();
+        let plan = VertexMerger::apply(&mut g, add1, add2).unwrap();
+        assert_eq!(plan.vi, add1);
+        assert!(g.dp.vertices().get(add1).is_none(), "add1 dissolved");
+        assert_eq!(g.dp.arcs().len(), before, "arc count preserved (Def. 4.6)");
+        g.validate().unwrap();
+        // All six arcs now adjacent to add2.
+        let add2_ports: Vec<_> = {
+            let vx = g.dp.vertex(add2);
+            vx.inputs.iter().chain(&vx.outputs).copied().collect()
+        };
+        let adjacent = g
+            .dp
+            .arcs()
+            .iter()
+            .filter(|(_, a)| add2_ports.contains(&a.from) || add2_ports.contains(&a.to))
+            .count();
+        assert_eq!(adjacent, 6);
+    }
+
+    #[test]
+    fn incompatible_ops_refused() {
+        let mut b = EtpnBuilder::new();
+        let add = b.operator(Op::Add, 2, "add");
+        let mul = b.operator(Op::Mul, 2, "mul");
+        let _ = (add, mul);
+        let g = b.finish().unwrap();
+        let add = g.dp.vertex_by_name("add").unwrap();
+        let mul = g.dp.vertex_by_name("mul").unwrap();
+        let mut g2 = g.clone();
+        let err = VertexMerger::apply(&mut g2, add, mul).unwrap_err();
+        assert!(matches!(err, TransformError::IncompatibleVertices(_, _)));
+    }
+
+    #[test]
+    fn parallel_uses_refused() {
+        // Two adders used in parallel branches: merging would make the
+        // branches contend for one unit.
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let add1 = b.operator(Op::Add, 2, "add1");
+        let add2 = b.operator(Op::Add, 2, "add2");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(add1, 0));
+        let a1 = b.connect(b.out_port(x, 0), b.in_port(add1, 1));
+        let a2 = b.connect(b.out_port(add1, 0), b.in_port(r1, 0));
+        let a3 = b.connect(b.out_port(y, 0), b.in_port(add2, 0));
+        let a4 = b.connect(b.out_port(y, 0), b.in_port(add2, 1));
+        let a5 = b.connect(b.out_port(add2, 0), b.in_port(r2, 0));
+        let s0 = b.place("s0");
+        let sa = b.place("sa");
+        let sb = b.place("sb");
+        b.control(sa, [a0, a1, a2]);
+        b.control(sb, [a3, a4, a5]);
+        let tf = b.transition("fork");
+        b.flow_st(s0, tf);
+        b.flow_ts(tf, sa);
+        b.flow_ts(tf, sb);
+        b.mark(s0);
+        let g0 = b.finish().unwrap();
+        let add1 = g0.dp.vertex_by_name("add1").unwrap();
+        let add2 = g0.dp.vertex_by_name("add2").unwrap();
+        let mut g = g0.clone();
+        let err = VertexMerger::apply(&mut g, add1, add2).unwrap_err();
+        assert!(matches!(err, TransformError::NotSequential { .. }));
+        assert_eq!(g, g0, "design untouched");
+    }
+
+    #[test]
+    fn register_live_range_overlap_refused() {
+        // write r1 (s0); write r2 (s1); read r2 (s2); read r1 (s3):
+        // interleaved live ranges — merging r1/r2 would clobber r1.
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let r3 = b.register("r3");
+        let r4 = b.register("r4");
+        let w1 = b.connect(b.out_port(x, 0), b.in_port(r1, 0));
+        let w2 = b.connect(b.out_port(y, 0), b.in_port(r2, 0));
+        let rd2 = b.connect(b.out_port(r2, 0), b.in_port(r3, 0));
+        let rd1 = b.connect(b.out_port(r1, 0), b.in_port(r4, 0));
+        let s = b.serial_chain(4, "s");
+        b.control(s[0], [w1]);
+        b.control(s[1], [w2]);
+        b.control(s[2], [rd2]);
+        b.control(s[3], [rd1]);
+        let g0 = b.finish().unwrap();
+        let r1 = g0.dp.vertex_by_name("r1").unwrap();
+        let r2 = g0.dp.vertex_by_name("r2").unwrap();
+        let mut g = g0.clone();
+        let err = VertexMerger::apply(&mut g, r1, r2).unwrap_err();
+        assert!(
+            matches!(err, TransformError::LiveRangeOverlap(_, _)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn register_disjoint_ranges_merge() {
+        // write r1 (s0); read r1 (s1); write r2 (s2); read r2 (s3).
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let r3 = b.register("r3");
+        let r4 = b.register("r4");
+        let w1 = b.connect(b.out_port(x, 0), b.in_port(r1, 0));
+        let rd1 = b.connect(b.out_port(r1, 0), b.in_port(r3, 0));
+        let w2 = b.connect(b.out_port(y, 0), b.in_port(r2, 0));
+        let rd2 = b.connect(b.out_port(r2, 0), b.in_port(r4, 0));
+        let s = b.serial_chain(4, "s");
+        b.control(s[0], [w1]);
+        b.control(s[1], [rd1]);
+        b.control(s[2], [w2]);
+        b.control(s[3], [rd2]);
+        let g0 = b.finish().unwrap();
+        let r1v = g0.dp.vertex_by_name("r1").unwrap();
+        let r2v = g0.dp.vertex_by_name("r2").unwrap();
+        let mut g = g0.clone();
+        VertexMerger::apply(&mut g, r1v, r2v).unwrap();
+        g.validate().unwrap();
+        assert!(g.dp.vertices().get(r1v).is_none());
+    }
+
+    #[test]
+    fn guard_substitution_applied() {
+        // A guard on add1's output must follow the merge to add2's output.
+        let (mut g, add1, add2) = two_adders_sequential();
+        let t = g.ctl.add_transition("guarded");
+        let p1 = g.dp.out_port(add1, 0);
+        g.ctl.add_guard(t, p1);
+        VertexMerger::apply(&mut g, add1, add2).unwrap();
+        let p2 = g.dp.out_port(add2, 0);
+        assert_eq!(g.ctl.transition(t).guards, vec![p2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn candidates_enumeration() {
+        let (g, add1, add2) = two_adders_sequential();
+        let cands = VertexMerger::candidates(&g);
+        assert!(cands.contains(&(add1, add2)), "{cands:?}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Control-invariant transformations (Def. 4.6, Thm. 4.2): rewrites of the
+//! data path that share or duplicate hardware resources while the control
+//! structure stays fixed.
+
+pub mod merge;
+pub mod split;

@@ -1,0 +1,195 @@
+//! Vertex splitting: the inverse of the merger.
+//!
+//! A shared unit is duplicated and a chosen subset of the control states
+//! using it is re-wired onto the copy. Splitting trades area for
+//! parallelism: after the split, the involved states no longer share a
+//! resource and become candidates for parallelisation (Def. 4.5). Since the
+//! merger of the two resulting vertices is legal by construction and
+//! control-invariant equivalence is symmetric, splitting preserves
+//! semantics by Thm. 4.2.
+//!
+//! Only *combinational* vertices may split: a register clone would not
+//! share the original's stored value, so a read moved onto the clone would
+//! observe `⊥` instead of the last write — an observable change (our E2
+//! oracle found exactly this on GCD's loop registers before the
+//! restriction was added).
+
+use crate::error::{TransformError, TransformResult};
+use etpn_core::{Etpn, Op, PlaceId, VertexId};
+
+/// Duplicate vertex `v`, re-pointing the arcs controlled by the states in
+/// `move_states` onto the copy. Returns the new vertex.
+///
+/// Every arc adjacent to `v` and controlled by a state in `move_states`
+/// moves; arcs controlled by other states stay. An arc controlled by both a
+/// moving and a staying state cannot be split and is reported as a shape
+/// mismatch.
+pub fn split_vertex(
+    g: &mut Etpn,
+    v: VertexId,
+    move_states: &[PlaceId],
+) -> TransformResult<VertexId> {
+    if !g.dp.vertices().contains(v) {
+        return Err(TransformError::Dangling("vertex", v.0));
+    }
+    if g.dp.vertex(v).is_external() {
+        return Err(TransformError::ShapeMismatch(
+            "external vertices cannot be split".into(),
+        ));
+    }
+    if g.dp.is_sequential_vertex(v) {
+        return Err(TransformError::ShapeMismatch(
+            "sequential vertices hold state and cannot be split".into(),
+        ));
+    }
+    let (name, inputs, outputs) = {
+        let vx = g.dp.vertex(v);
+        (vx.name.clone(), vx.inputs.clone(), vx.outputs.clone())
+    };
+    let out_ops: Vec<Op> = outputs.iter().map(|&p| g.dp.port(p).operation()).collect();
+
+    // Partition the adjacent arcs.
+    let mut moving = Vec::new();
+    for &p in inputs.iter().chain(&outputs) {
+        for &a in g
+            .dp
+            .incoming_arcs(p)
+            .iter()
+            .chain(g.dp.outgoing_arcs(p).iter())
+        {
+            let controllers = g.ctl.controllers_of(a);
+            let n_moving = controllers
+                .iter()
+                .filter(|s| move_states.contains(s))
+                .count();
+            if n_moving > 0 && n_moving < controllers.len() {
+                return Err(TransformError::ShapeMismatch(format!(
+                    "arc {a} is controlled by both moving and staying states"
+                )));
+            }
+            if n_moving > 0 {
+                moving.push((a, p));
+            }
+        }
+    }
+
+    let v2 = g
+        .dp
+        .add_unit(format!("{name}_split"), inputs.len(), &out_ops)?;
+    for (a, old_port) in moving {
+        let port = g.dp.port(old_port);
+        let (dir, index) = (port.dir, port.index as usize);
+        match dir {
+            etpn_core::port::Dir::In => {
+                let new_port = g.dp.in_port(v2, index);
+                g.dp.repoint_to(a, new_port)?;
+            }
+            etpn_core::port::Dir::Out => {
+                let new_port = g.dp.out_port(v2, index);
+                g.dp.repoint_from(a, new_port)?;
+            }
+        }
+    }
+    Ok(v2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control_invariant::merge::VertexMerger;
+    use etpn_core::{EtpnBuilder, Op};
+
+    /// One adder shared by two sequential states.
+    fn shared_adder() -> (Etpn, VertexId, Vec<PlaceId>) {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let add = b.operator(Op::Add, 2, "add");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(add, 0));
+        let a1 = b.connect(b.out_port(x, 0), b.in_port(add, 1));
+        let a2 = b.connect(b.out_port(add, 0), b.in_port(r1, 0));
+        let a3 = b.connect(b.out_port(y, 0), b.in_port(add, 0));
+        let a4 = b.connect(b.out_port(y, 0), b.in_port(add, 1));
+        let a5 = b.connect(b.out_port(add, 0), b.in_port(r2, 0));
+        let s = b.serial_chain(2, "s");
+        b.control(s[0], [a0, a1, a2]);
+        b.control(s[1], [a3, a4, a5]);
+        let g = b.finish().unwrap();
+        let add = g.dp.vertex_by_name("add").unwrap();
+        (g, add, s)
+    }
+
+    #[test]
+    fn split_moves_selected_states_arcs() {
+        let (mut g, add, s) = shared_adder();
+        let v2 = split_vertex(&mut g, add, &[s[1]]).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.dp.vertex(v2).name, "add_split");
+        // s1's three arcs now touch the copy.
+        let copy_ports: Vec<_> = {
+            let vx = g.dp.vertex(v2);
+            vx.inputs.iter().chain(&vx.outputs).copied().collect()
+        };
+        for &a in g.ctl.ctrl(s[1]) {
+            let arc = g.dp.arc(a);
+            assert!(
+                copy_ports.contains(&arc.from) || copy_ports.contains(&arc.to),
+                "arc {a} should touch the copy"
+            );
+        }
+        // s0's arcs still touch the original.
+        for &a in g.ctl.ctrl(s[0]) {
+            let arc = g.dp.arc(a);
+            assert!(!copy_ports.contains(&arc.from) && !copy_ports.contains(&arc.to));
+        }
+    }
+
+    #[test]
+    fn split_then_merge_roundtrip() {
+        let (g0, add, s) = shared_adder();
+        let mut g = g0.clone();
+        let v2 = split_vertex(&mut g, add, &[s[1]]).unwrap();
+        // The two vertices are merger candidates again (sequential uses).
+        VertexMerger::apply(&mut g, v2, add).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.dp.vertices().len(), g0.dp.vertices().len());
+        assert_eq!(g.dp.arcs().len(), g0.dp.arcs().len());
+    }
+
+    #[test]
+    fn split_enables_parallelisation() {
+        use crate::data_invariant::parallelize::Parallelizer;
+        let (mut g, add, s) = shared_adder();
+        // Before: parallelisation refused (shared adder).
+        let dd = etpn_analysis::DataDependence::compute(&g);
+        let par = Parallelizer::new(&dd);
+        assert!(par.check(&g, s[0], s[1]).is_err());
+        // After split: legal if also ◇-independent. (Both read external
+        // inputs, so case (e) still binds — expect DataDependent, not
+        // SharedResources.)
+        split_vertex(&mut g, add, &[s[1]]).unwrap();
+        let dd = etpn_analysis::DataDependence::compute(&g);
+        let par = Parallelizer::new(&dd);
+        match par.check(&g, s[0], s[1]) {
+            Err(crate::error::TransformError::DataDependent(_, _)) => {}
+            other => panic!("expected DataDependent (case e), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_vertex_split_refused() {
+        let (mut g, _, _) = shared_adder();
+        let x = g.dp.vertex_by_name("x").unwrap();
+        assert!(split_vertex(&mut g, x, &[]).is_err());
+    }
+
+    #[test]
+    fn register_split_refused() {
+        let (mut g, _, s) = shared_adder();
+        let r1 = g.dp.vertex_by_name("r1").unwrap();
+        let err = split_vertex(&mut g, r1, &[s[0]]).unwrap_err();
+        assert!(err.to_string().contains("sequential"), "{err}");
+    }
+}

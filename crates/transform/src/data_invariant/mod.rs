@@ -1,0 +1,7 @@
+//! Data-invariant transformations (Defs. 4.3–4.5, Thm. 4.1): rewrites of the
+//! control structure `(T, F)` that preserve the `⇒`-order of every
+//! data-dependent pair of control states — and therefore the semantics.
+
+pub mod parallelize;
+pub mod reorder;
+pub mod serialize;

@@ -1,0 +1,74 @@
+//! Reordering: swap two adjacent independent states in a serial chain.
+//!
+//! `… → Sa → t → Sb → …` becomes `… → Sb → t' → Sa → …` when `¬(Sa ◇ Sb)`.
+//! Composed from the two primitive rewrites — parallelise, then serialise in
+//! the opposite order — so its legality conditions are exactly theirs, and
+//! semantics preservation follows from Thm. 4.1 applied twice.
+
+use crate::data_invariant::parallelize::Parallelizer;
+use crate::data_invariant::serialize::Serializer;
+use crate::error::TransformResult;
+use etpn_analysis::DataDependence;
+use etpn_core::{Etpn, PlaceId};
+
+/// Swap the order of the adjacent pair `sa → sb` to `sb → sa`.
+pub fn reorder(
+    g: &mut Etpn,
+    dd: &DataDependence,
+    sa: PlaceId,
+    sb: PlaceId,
+) -> TransformResult<()> {
+    let par = Parallelizer::new(dd);
+    // Validate fully before mutating: parallelise checks shape/independence;
+    // the subsequent serialise of a fresh fork/join pair cannot fail.
+    par.check(g, sa, sb)?;
+    par.apply(g, sa, sb)?;
+    Serializer::apply(g, sb, sa)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::{ControlRelations, EtpnBuilder};
+
+    #[test]
+    fn swap_independent_neighbours() {
+        let mut b = EtpnBuilder::new();
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let r3 = b.register("r3");
+        let r4 = b.register("r4");
+        let a1 = b.connect(b.out_port(r1, 0), b.in_port(r3, 0));
+        let a2 = b.connect(b.out_port(r2, 0), b.in_port(r4, 0));
+        let s = b.serial_chain(4, "s");
+        b.control(s[1], [a1]);
+        b.control(s[2], [a2]);
+        let mut g = b.finish().unwrap();
+        let dd = DataDependence::compute(&g);
+        reorder(&mut g, &dd, s[1], s[2]).unwrap();
+        let rel = ControlRelations::compute(&g.ctl);
+        assert!(rel.leads_to(s[2], s[1]), "order swapped");
+        assert!(!rel.leads_to(s[1], s[2]));
+        assert!(rel.leads_to(s[0], s[2]) && rel.leads_to(s[1], s[3]));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dependent_neighbours_refused_without_mutation() {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let a1 = b.connect(b.out_port(x, 0), b.in_port(r1, 0));
+        let a2 = b.connect(b.out_port(r1, 0), b.in_port(r2, 0));
+        let s = b.serial_chain(2, "s");
+        b.control(s[0], [a1]);
+        b.control(s[1], [a2]);
+        let g0 = b.finish().unwrap();
+        let mut g = g0.clone();
+        let dd = DataDependence::compute(&g);
+        assert!(reorder(&mut g, &dd, s[0], s[1]).is_err());
+        assert_eq!(g, g0, "refused rewrite leaves the design untouched");
+    }
+}

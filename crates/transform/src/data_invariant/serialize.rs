@@ -1,0 +1,157 @@
+//! Serialisation: the inverse data-invariant transformation.
+//!
+//! Two parallel states with identical entry and exit transition sets — the
+//! fork/join shape produced by [`parallelize`](super::parallelize) — are put
+//! back into sequence:
+//!
+//! ```text
+//!   t1 → {Sa ∥ Sb} → t3        ⟹        t1 → Sa → t_new → Sb → t3
+//! ```
+//!
+//! Always semantics-preserving (Def. 4.5 constrains only *dependent* pairs,
+//! and adding order never removes any required `⇒` pair). Used by the
+//! optimiser to trade performance back for resource sharing opportunities:
+//! vertex merger (Def. 4.6) requires its use states to be sequential.
+
+use crate::error::{TransformError, TransformResult};
+use etpn_core::{Etpn, PlaceId, TransId};
+
+/// Applies serialisation rewrites.
+pub struct Serializer;
+
+impl Serializer {
+    /// Check the fork/join shape: `pre(sa) == pre(sb)` and
+    /// `post(sa) == post(sb)` as sets, and the pair is currently parallel.
+    pub fn check(g: &Etpn, sa: PlaceId, sb: PlaceId) -> TransformResult<()> {
+        if sa == sb {
+            return Err(TransformError::ShapeMismatch("identical states".into()));
+        }
+        let (pa, pb) = (g.ctl.place(sa), g.ctl.place(sb));
+        let same = |x: &[TransId], y: &[TransId]| {
+            let mut a = x.to_vec();
+            let mut b = y.to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        };
+        if !same(&pa.pre, &pb.pre) || !same(&pa.post, &pb.post) {
+            return Err(TransformError::ShapeMismatch(format!(
+                "{sa} and {sb} do not share entries/exits"
+            )));
+        }
+        if pa.marked0 != pb.marked0 {
+            return Err(TransformError::ShapeMismatch(
+                "initial marking differs between the branches".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Apply, ordering `sa` before `sb`. Returns the inserted transition.
+    pub fn apply(g: &mut Etpn, sa: PlaceId, sb: PlaceId) -> TransformResult<TransId> {
+        Self::check(g, sa, sb)?;
+        // Detach sb from the shared entries and sa from the shared exits.
+        for feeder in g.ctl.place(sb).pre.clone() {
+            g.ctl.unflow_ts(feeder, sb);
+        }
+        for drainer in g.ctl.place(sa).post.clone() {
+            g.ctl.unflow_st(sa, drainer);
+        }
+        let name = format!(
+            "ser_{}_{}",
+            g.ctl.place(sa).name.clone(),
+            g.ctl.place(sb).name.clone()
+        );
+        let t = g.ctl.add_transition(name);
+        g.ctl.flow_st(sa, t)?;
+        g.ctl.flow_ts(t, sb)?;
+        // If both were initial (parallel start), only the first stays marked.
+        if g.ctl.place(sa).marked0 {
+            g.ctl.set_marked0(sb, false);
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_invariant::parallelize::Parallelizer;
+    use etpn_core::{ControlRelations, EtpnBuilder};
+
+    /// Fork/join with two internal register copies (internal states: states
+    /// with external arcs are never ◇-independent, Def. 4.3(e)).
+    fn fork_join() -> (Etpn, PlaceId, PlaceId, PlaceId, PlaceId) {
+        let mut b = EtpnBuilder::new();
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let r3 = b.register("r3");
+        let r4 = b.register("r4");
+        let a1 = b.connect(b.out_port(r1, 0), b.in_port(r3, 0));
+        let a2 = b.connect(b.out_port(r2, 0), b.in_port(r4, 0));
+        let s0 = b.place("s0");
+        let sa = b.place("sa");
+        let sb = b.place("sb");
+        let s3 = b.place("s3");
+        b.control(sa, [a1]);
+        b.control(sb, [a2]);
+        let tf = b.transition("fork");
+        b.flow_st(s0, tf);
+        b.flow_ts(tf, sa);
+        b.flow_ts(tf, sb);
+        let tj = b.transition("join");
+        b.flow_st(sa, tj);
+        b.flow_st(sb, tj);
+        b.flow_ts(tj, s3);
+        let fin = b.transition("fin");
+        b.flow_st(s3, fin);
+        b.mark(s0);
+        (b.finish().unwrap(), s0, sa, sb, s3)
+    }
+
+    #[test]
+    fn serialise_fork_join() {
+        let (mut g, s0, sa, sb, s3) = fork_join();
+        let t = Serializer::apply(&mut g, sa, sb).unwrap();
+        let rel = ControlRelations::compute(&g.ctl);
+        assert!(rel.leads_to(sa, sb), "sa now precedes sb");
+        assert!(!rel.parallel(sa, sb));
+        assert!(rel.leads_to(s0, sa) && rel.leads_to(sb, s3));
+        assert_eq!(g.ctl.transition(t).pre, vec![sa]);
+        assert_eq!(g.ctl.transition(t).post, vec![sb]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn serialise_then_parallelise_roundtrip() {
+        let (g0, _, sa, sb, _) = fork_join();
+        let mut g = g0.clone();
+        Serializer::apply(&mut g, sa, sb).unwrap();
+        let dd = etpn_analysis::DataDependence::compute(&g);
+        let par = Parallelizer::new(&dd);
+        par.apply(&mut g, sa, sb).unwrap();
+        let rel = ControlRelations::compute(&g.ctl);
+        assert!(rel.parallel(sa, sb), "back to parallel");
+        // Note: transition identities differ (new ids), but the order
+        // structure is restored.
+        let rel0 = ControlRelations::compute(&g0.ctl);
+        for (si, sj) in [(sa, sb), (sb, sa)] {
+            assert_eq!(rel.leads_to(si, sj), rel0.leads_to(si, sj));
+        }
+    }
+
+    #[test]
+    fn mismatched_shape_refused() {
+        let (mut g, s0, sa, _, _) = fork_join();
+        let err = Serializer::apply(&mut g, s0, sa).unwrap_err();
+        assert!(matches!(err, TransformError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn serialise_other_order() {
+        let (mut g, _, sa, sb, _) = fork_join();
+        Serializer::apply(&mut g, sb, sa).unwrap();
+        let rel = ControlRelations::compute(&g.ctl);
+        assert!(rel.leads_to(sb, sa), "caller chooses the order");
+    }
+}

@@ -1,0 +1,79 @@
+//! Transformation failure modes: every rewrite checks its legality
+//! preconditions and refuses rather than producing a semantically different
+//! design.
+
+use etpn_core::{PlaceId, TransId, VertexId};
+
+/// Why a transformation was refused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TransformError {
+    /// The two control states are data dependent (`Si ◇ Sj`): reordering or
+    /// parallelising them would violate Def. 4.5.
+    DataDependent(PlaceId, PlaceId),
+    /// The states' associated sets intersect — parallelising them would
+    /// break Def. 3.2(1).
+    SharedResources(PlaceId, PlaceId),
+    /// The control shape does not match the rewrite's pattern (e.g. the
+    /// linking transition is not a pure unguarded `Sa → t → Sb` link).
+    ShapeMismatch(String),
+    /// The linking transition is guarded; eliminating it would drop the
+    /// guard condition.
+    GuardedLink(TransId),
+    /// Vertex merger: the vertices differ in operational definition or port
+    /// structure (Def. 4.6).
+    IncompatibleVertices(VertexId, VertexId),
+    /// Vertex merger: some pair of use states is not in sequential order.
+    NotSequential {
+        /// State using the first vertex.
+        s1: PlaceId,
+        /// State using the second vertex.
+        s2: PlaceId,
+    },
+    /// Register merger: the storage live ranges interleave, so sharing the
+    /// register would clobber a live value (see module docs — Def. 4.6
+    /// alone does not exclude this for sequential vertices).
+    LiveRangeOverlap(VertexId, VertexId),
+    /// A referenced object does not exist.
+    Dangling(&'static str, u32),
+    /// The underlying core operation failed.
+    Core(etpn_core::CoreError),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::DataDependent(a, b) => {
+                write!(f, "{a} ◇ {b}: data dependent, order must be preserved")
+            }
+            TransformError::SharedResources(a, b) => {
+                write!(f, "{a} and {b} share data-path resources")
+            }
+            TransformError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            TransformError::GuardedLink(t) => {
+                write!(f, "link transition {t} is guarded")
+            }
+            TransformError::IncompatibleVertices(a, b) => {
+                write!(f, "{a} and {b} differ in operation or port structure")
+            }
+            TransformError::NotSequential { s1, s2 } => {
+                write!(f, "use states {s1} and {s2} are not in sequential order")
+            }
+            TransformError::LiveRangeOverlap(a, b) => {
+                write!(f, "registers {a} and {b} have interleaved live ranges")
+            }
+            TransformError::Dangling(kind, id) => write!(f, "dangling {kind} id {id}"),
+            TransformError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<etpn_core::CoreError> for TransformError {
+    fn from(e: etpn_core::CoreError) -> Self {
+        TransformError::Core(e)
+    }
+}
+
+/// Result alias for transformations.
+pub type TransformResult<T> = Result<T, TransformError>;

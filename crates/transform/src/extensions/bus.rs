@@ -1,0 +1,199 @@
+//! Bus formation — the paper's own example of merging communication
+//! channels: "By merging communication channels together we can also
+//! create structure components like buses in the implementation."
+//!
+//! Two steps:
+//!
+//! 1. **Reify transfers** ([`reify_transfer`]): an internal register-to-
+//!    register arc `(O, I)` is materialised as an explicit channel — a
+//!    `Pass` vertex spliced into the arc, both halves controlled by the
+//!    same states. Semantically an identity insertion on an internal wire:
+//!    the external event structure cannot change (internal arcs host no
+//!    events, and combinational `Pass` forwards the value within the same
+//!    step).
+//! 2. **Merge channels** ([`form_buses`]): the ordinary vertex merger
+//!    (Def. 4.6) over the reified `Pass` vertices. A merged channel driven
+//!    by several sources and steering to several sinks under different
+//!    control states *is* a bus — the inferred input multiplexer of the
+//!    cost model is its arbiter.
+
+use crate::control_invariant::merge::VertexMerger;
+use crate::error::{TransformError, TransformResult};
+use etpn_core::{ArcId, Etpn, Op, VertexId};
+
+/// Splice a `Pass` channel vertex into an internal arc. Returns the new
+/// vertex. The original arc keeps its identity (now ending at the channel
+/// input); the channel output drives the old destination under the same
+/// control states.
+pub fn reify_transfer(g: &mut Etpn, arc: ArcId) -> TransformResult<VertexId> {
+    if !g.dp.arcs().contains(arc) {
+        return Err(TransformError::Dangling("arc", arc.0));
+    }
+    if g.dp.is_external_arc(arc) {
+        return Err(TransformError::ShapeMismatch(
+            "external arcs host events; reifying one would split an event".into(),
+        ));
+    }
+    let to = g.dp.arc(arc).to;
+    let controllers = g.ctl.controllers_of(arc);
+    let name = format!("ch_{arc}");
+    let ch = g.dp.add_unit(name, 1, &[Op::Pass])?;
+    g.dp.repoint_to(arc, g.dp.in_port(ch, 0))?;
+    let second = g.dp.connect(g.dp.out_port(ch, 0), to)?;
+    for s in controllers {
+        g.ctl.add_ctrl(s, second);
+    }
+    Ok(ch)
+}
+
+/// Summary of a bus-formation pass.
+#[derive(Clone, Debug, Default)]
+pub struct BusReport {
+    /// Channels inserted by reification.
+    pub channels_reified: usize,
+    /// Merger operations performed.
+    pub merges: usize,
+    /// Surviving channel vertices and how many states drive each.
+    pub buses: Vec<(VertexId, usize)>,
+}
+
+/// Reify every internal register-to-register transfer and merge the
+/// resulting channels as far as Def. 4.6 allows. Channels that absorbed
+/// more than one transfer are buses.
+pub fn form_buses(g: &mut Etpn) -> TransformResult<BusReport> {
+    let mut report = BusReport::default();
+    // Collect internal sequential→sequential transfer arcs first (the set
+    // changes as we splice).
+    let transfers: Vec<ArcId> = g
+        .dp
+        .arcs()
+        .iter()
+        .filter(|&(a, arc)| {
+            !g.dp.is_external_arc(a)
+                && g.dp.is_sequential_vertex(g.dp.port(arc.from).vertex)
+                && g.dp.is_sequential_vertex(g.dp.port(arc.to).vertex)
+        })
+        .map(|(a, _)| a)
+        .collect();
+    let mut channels: Vec<VertexId> = Vec::new();
+    for a in transfers {
+        channels.push(reify_transfer(g, a)?);
+        report.channels_reified += 1;
+    }
+    // Greedy pairwise merging of channels.
+    loop {
+        let mut merged = false;
+        'outer: for i in 0..channels.len() {
+            for j in (i + 1)..channels.len() {
+                let (vi, vj) = (channels[i], channels[j]);
+                if g.dp.vertices().contains(vi)
+                    && g.dp.vertices().contains(vj)
+                    && VertexMerger::apply(g, vi, vj).is_ok()
+                {
+                    report.merges += 1;
+                    merged = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+    for &ch in &channels {
+        if g.dp.vertices().contains(ch) {
+            let drivers = crate::legality::use_states(g, ch).len();
+            report.buses.push((ch, drivers));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::EtpnBuilder;
+    use etpn_sim::{ScriptedEnv, Simulator};
+
+    /// Three serial register-to-register moves — a bus candidate.
+    fn mover() -> (Etpn, Vec<etpn_core::PlaceId>) {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let r3 = b.register("r3");
+        let r4 = b.register("r4");
+        let o = b.output("o");
+        let l = b.connect(b.out_port(x, 0), b.in_port(r1, 0));
+        let m1 = b.connect(b.out_port(r1, 0), b.in_port(r2, 0));
+        let m2 = b.connect(b.out_port(r2, 0), b.in_port(r3, 0));
+        let m3 = b.connect(b.out_port(r3, 0), b.in_port(r4, 0));
+        let e = b.connect(b.out_port(r4, 0), b.in_port(o, 0));
+        let s = b.serial_chain(5, "s");
+        b.control(s[0], [l]);
+        b.control(s[1], [m1]);
+        b.control(s[2], [m2]);
+        b.control(s[3], [m3]);
+        b.control(s[4], [e]);
+        let fin = b.transition("fin");
+        b.flow_st(s[4], fin);
+        (b.finish().unwrap(), s)
+    }
+
+    #[test]
+    fn reify_preserves_values() {
+        let (g0, _) = mover();
+        let mut g = g0.clone();
+        let arcs: Vec<ArcId> = g.dp.arcs().ids().collect();
+        // Reify the first internal transfer (r1→r2).
+        let internal = arcs
+            .iter()
+            .copied()
+            .find(|&a| !g.dp.is_external_arc(a))
+            .unwrap();
+        let ch = reify_transfer(&mut g, internal).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.dp.vertex(ch).name, format!("ch_{internal}"));
+        let run = |g: &Etpn| {
+            Simulator::new(g, ScriptedEnv::new().with_stream("x", [42]))
+                .run(50)
+                .unwrap()
+                .values_on_named_output(g, "o")
+        };
+        assert_eq!(run(&g0), vec![42]);
+        assert_eq!(run(&g), vec![42]);
+    }
+
+    #[test]
+    fn external_arc_reify_refused() {
+        let (mut g, _) = mover();
+        let ext = g.dp.external_arcs()[0];
+        assert!(reify_transfer(&mut g, ext).is_err());
+    }
+
+    #[test]
+    fn bus_forms_over_serial_transfers() {
+        let (g0, _) = mover();
+        let mut g = g0.clone();
+        let report = form_buses(&mut g).unwrap();
+        assert_eq!(report.channels_reified, 3);
+        assert!(report.merges >= 1, "{report:?}");
+        // At least one surviving channel is shared by several states.
+        assert!(
+            report.buses.iter().any(|&(_, drivers)| drivers > 1),
+            "{report:?}"
+        );
+        g.validate().unwrap();
+        // Semantics intact.
+        let run = |g: &Etpn| {
+            Simulator::new(g, ScriptedEnv::new().with_stream("x", [9]))
+                .run(50)
+                .unwrap()
+                .values_on_named_output(g, "o")
+        };
+        assert_eq!(run(&g0), run(&g));
+        // Still properly designed.
+        let rep = etpn_analysis::check_properly_designed(&g);
+        assert!(rep.is_proper(), "{}", rep.summary());
+    }
+}

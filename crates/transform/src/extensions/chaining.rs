@@ -1,0 +1,187 @@
+//! Operation chaining (state compaction) — an extension beyond the paper's
+//! two transformation families.
+//!
+//! Two adjacent independent states are folded into **one** control state
+//! that opens both arc sets:
+//!
+//! ```text
+//!   … → Sa → t → Sb → …        ⟹        … → Sa∪b → …
+//! ```
+//!
+//! Unlike parallelisation this *changes the state set* `S`, so it is not
+//! data-invariant in the sense of Def. 4.5 (which fixes `S`); it is the
+//! classic schedule-compaction move of transformational HLS: one control
+//! step instead of two, a smaller controller, at the price of a longer
+//! combinational path within the step (the cycle-time/latency trade-off
+//! the cost model captures). Semantics preservation follows from the same
+//! independence argument as parallelisation — the legality conditions are
+//! identical (no direct data dependence, disjoint associated sets, pure
+//! unguarded link) plus a check that the fused subgraph stays free of
+//! combinational loops; the E-suite oracle machinery is used in the tests
+//! to keep this honest.
+
+use crate::data_invariant::parallelize::Parallelizer;
+use crate::error::{TransformError, TransformResult};
+use crate::legality::{require_disjoint_resources, require_independent};
+use etpn_analysis::comb_loop::find_comb_loop;
+use etpn_analysis::DataDependence;
+use etpn_core::{Etpn, PlaceId};
+
+/// Check the chaining preconditions for `sa → t → sb`.
+pub fn check_chain(
+    g: &Etpn,
+    dd: &DataDependence,
+    sa: PlaceId,
+    sb: PlaceId,
+) -> TransformResult<()> {
+    let t = Parallelizer::link_transition(g, sa, sb).ok_or_else(|| {
+        TransformError::ShapeMismatch(format!("no pure link {sa} → t → {sb}"))
+    })?;
+    let _ = t;
+    require_independent(dd, sa, sb)?;
+    require_disjoint_resources(g, sa, sb)?;
+    if g.ctl.place(sb).marked0 {
+        return Err(TransformError::ShapeMismatch(format!(
+            "{sb} is initially marked"
+        )));
+    }
+    Ok(())
+}
+
+/// Fold `sb` into `sa` (see module docs). On success `sb` and the link
+/// transition are gone and `sa` controls both arc sets.
+pub fn chain(g: &mut Etpn, dd: &DataDependence, sa: PlaceId, sb: PlaceId) -> TransformResult<()> {
+    check_chain(g, dd, sa, sb)?;
+    let t = Parallelizer::link_transition(g, sa, sb).expect("checked");
+
+    // Build the result on a clone so a late refusal (combinational loop,
+    // duplicate flow) leaves the input design untouched.
+    let mut trial = g.clone();
+    for a in trial.ctl.take_ctrl(sb) {
+        trial.ctl.add_ctrl(sa, a);
+    }
+    if let Some(l) = find_comb_loop(&trial, sa) {
+        return Err(TransformError::ShapeMismatch(format!(
+            "fusing would close a combinational loop through {:?}",
+            l.cycle.first()
+        )));
+    }
+    trial.ctl.remove_transition(t)?;
+    for t_out in trial.ctl.place(sb).post.clone() {
+        trial.ctl.unflow_st(sb, t_out);
+        trial.ctl.flow_st(sa, t_out)?;
+    }
+    trial.ctl.remove_place(sb)?;
+    *g = trial;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::EtpnBuilder;
+
+    /// s0 loads two registers from inputs; s1/s2 compute independently.
+    fn staged() -> (Etpn, Vec<PlaceId>) {
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let add = b.operator(etpn_core::Op::Add, 2, "add");
+        let mul = b.operator(etpn_core::Op::Mul, 2, "mul");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let r3 = b.register("r3");
+        let r4 = b.register("r4");
+        let o = b.output("o");
+        let l1 = b.connect(b.out_port(x, 0), b.in_port(r1, 0));
+        let l2 = b.connect(b.out_port(y, 0), b.in_port(r2, 0));
+        let c0 = b.connect(b.out_port(r1, 0), b.in_port(add, 0));
+        let c1 = b.connect(b.out_port(r1, 0), b.in_port(add, 1));
+        let c2 = b.connect(b.out_port(add, 0), b.in_port(r3, 0));
+        let m0 = b.connect(b.out_port(r2, 0), b.in_port(mul, 0));
+        let m1 = b.connect(b.out_port(r2, 0), b.in_port(mul, 1));
+        let m2 = b.connect(b.out_port(mul, 0), b.in_port(r4, 0));
+        let emit = b.connect(b.out_port(r3, 0), b.in_port(o, 0));
+        let s = b.serial_chain(4, "s");
+        b.control(s[0], [l1, l2]);
+        b.control(s[1], [c0, c1, c2]);
+        b.control(s[2], [m0, m1, m2]);
+        b.control(s[3], [emit]);
+        let fin = b.transition("fin");
+        b.flow_st(s[3], fin);
+        (b.finish().unwrap(), s)
+    }
+
+    #[test]
+    fn chain_independent_states() {
+        let (mut g, s) = staged();
+        let places_before = g.ctl.places().len();
+        let dd = DataDependence::compute(&g);
+        chain(&mut g, &dd, s[1], s[2]).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.ctl.places().len(), places_before - 1);
+        // The fused state controls both arc sets.
+        assert_eq!(g.ctl.ctrl(s[1]).len(), 6);
+        assert!(g.ctl.places().get(s[2]).is_none());
+        // Still properly designed.
+        let report = etpn_analysis::check_properly_designed(&g);
+        assert!(report.is_proper(), "{}", report.summary());
+    }
+
+    #[test]
+    fn chained_design_computes_identically() {
+        use etpn_sim::{ScriptedEnv, Simulator};
+        let (g0, s) = staged();
+        let mut g = g0.clone();
+        let dd = DataDependence::compute(&g);
+        chain(&mut g, &dd, s[1], s[2]).unwrap();
+        let env = || ScriptedEnv::new().with_stream("x", [5]).with_stream("y", [7]);
+        let out0 = Simulator::new(&g0, env())
+            .run(100)
+            .unwrap()
+            .values_on_named_output(&g0, "o");
+        let out1 = Simulator::new(&g, env())
+            .run(100)
+            .unwrap()
+            .values_on_named_output(&g, "o");
+        assert_eq!(out0, out1);
+        assert_eq!(out0, vec![10]);
+        // And it takes one step less.
+        let steps0 = Simulator::new(&g0, env()).run(100).unwrap().steps;
+        let steps1 = Simulator::new(&g, env()).run(100).unwrap().steps;
+        assert_eq!(steps1, steps0 - 1);
+    }
+
+    #[test]
+    fn dependent_pair_refused() {
+        let (mut g, s) = staged();
+        let dd = DataDependence::compute(&g);
+        // s0 writes r1/r2; s1 reads r1 — dependent.
+        let err = chain(&mut g, &dd, s[0], s[1]).unwrap_err();
+        assert!(matches!(err, TransformError::DataDependent(_, _)));
+    }
+
+    #[test]
+    fn comb_loop_fusion_refused() {
+        // Two pass vertices each closing half a cycle under separate states.
+        let mut b = EtpnBuilder::new();
+        let p0 = b.operator(etpn_core::Op::Pass, 1, "p0");
+        let p1 = b.operator(etpn_core::Op::Pass, 1, "p1");
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let a0 = b.connect(b.out_port(p0, 0), b.in_port(p1, 0));
+        let a0b = b.connect(b.out_port(p1, 0), b.in_port(r1, 0));
+        let a1 = b.connect(b.out_port(p1, 0), b.in_port(p0, 0));
+        let a1b = b.connect(b.out_port(p0, 0), b.in_port(r2, 0));
+        let s = b.serial_chain(2, "s");
+        b.control(s[0], [a0, a0b]);
+        b.control(s[1], [a1, a1b]);
+        let mut g = b.finish().unwrap();
+        let dd = DataDependence::compute(&g);
+        let err = chain(&mut g, &dd, s[0], s[1]).unwrap_err();
+        assert!(
+            err.to_string().contains("combinational loop"),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Transformations beyond the paper's two families — the natural next
+//! moves of a CAMAD-style environment, each documented with its legality
+//! argument and oracle-backed tests:
+//!
+//! * [`chaining`] — fold two independent adjacent states into one control
+//!   step (schedule compaction; changes `S`, so outside Def. 4.5's frame);
+//! * [`bus`] — reify internal transfers as channel vertices and merge them
+//!   into buses (the paper's own closing example for the vertex merger);
+//! * [`unroll`] — duplicate a structured loop body so cross-iteration
+//!   rewrites become expressible.
+
+pub mod bus;
+pub mod chaining;
+pub mod unroll;

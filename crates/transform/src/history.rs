@@ -1,0 +1,221 @@
+//! Transformation history: a replayable log of applied rewrites.
+//!
+//! The synthesis process of §5 is "a sequence of control-invariant and
+//! data-invariant transformations"; the log *is* that sequence. It supports
+//! replay onto a fresh copy of the starting design (the correctness witness
+//! a synthesis run hands back) and human-readable reporting.
+
+use crate::control_invariant::merge::VertexMerger;
+use crate::control_invariant::split::split_vertex;
+use crate::data_invariant::parallelize::Parallelizer;
+use crate::data_invariant::reorder::reorder;
+use crate::data_invariant::serialize::Serializer;
+use crate::error::TransformResult;
+use etpn_analysis::DataDependence;
+use etpn_core::{Etpn, PlaceId, VertexId};
+
+/// One applied transformation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Transform {
+    /// Data-invariant: made `a ∥ b`.
+    Parallelize(PlaceId, PlaceId),
+    /// Data-invariant: ordered `a` before `b`.
+    Serialize(PlaceId, PlaceId),
+    /// Data-invariant: swapped adjacent `a → b` into `b → a`.
+    Reorder(PlaceId, PlaceId),
+    /// Data-invariant: absorbed the post-join state `a` into the parallel
+    /// group before it.
+    Widen(PlaceId),
+    /// Control-invariant: merged vertex `a` into `b`.
+    Merge(VertexId, VertexId),
+    /// Extension (beyond Def. 4.5's frame — changes `S`): fused the
+    /// independent adjacent states `a → b` into one control step.
+    Chain(PlaceId, PlaceId),
+    /// Control-invariant: split states off vertex `a` onto a copy.
+    Split(VertexId, Vec<PlaceId>),
+}
+
+impl Transform {
+    /// Apply this transformation to `g`.
+    pub fn apply(&self, g: &mut Etpn) -> TransformResult<()> {
+        match self {
+            Transform::Parallelize(a, b) => {
+                let dd = DataDependence::compute(g);
+                Parallelizer::new(&dd).apply(g, *a, *b)
+            }
+            Transform::Serialize(a, b) => Serializer::apply(g, *a, *b).map(|_| ()),
+            Transform::Reorder(a, b) => {
+                let dd = DataDependence::compute(g);
+                reorder(g, &dd, *a, *b)
+            }
+            Transform::Widen(a) => {
+                let dd = DataDependence::compute(g);
+                Parallelizer::new(&dd).widen(g, *a)
+            }
+            Transform::Chain(a, b) => {
+                let dd = DataDependence::compute(g);
+                crate::extensions::chaining::chain(g, &dd, *a, *b)
+            }
+            Transform::Merge(a, b) => VertexMerger::apply(g, *a, *b).map(|_| ()),
+            Transform::Split(v, states) => split_vertex(g, *v, states).map(|_| ()),
+        }
+    }
+
+    /// Whether this is a data-invariant (control-rewriting) transformation.
+    pub fn is_data_invariant(&self) -> bool {
+        matches!(
+            self,
+            Transform::Parallelize(..)
+                | Transform::Serialize(..)
+                | Transform::Reorder(..)
+                | Transform::Widen(..)
+        )
+    }
+}
+
+impl std::fmt::Display for Transform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transform::Parallelize(a, b) => write!(f, "parallelize({a}, {b})"),
+            Transform::Serialize(a, b) => write!(f, "serialize({a} → {b})"),
+            Transform::Reorder(a, b) => write!(f, "reorder({a} ↔ {b})"),
+            Transform::Widen(a) => write!(f, "widen({a})"),
+            Transform::Chain(a, b) => write!(f, "chain({a} + {b})"),
+            Transform::Merge(a, b) => write!(f, "merge({a} into {b})"),
+            Transform::Split(v, s) => write!(f, "split({v} for {} states)", s.len()),
+        }
+    }
+}
+
+/// A design together with its transformation provenance.
+#[derive(Clone, Debug)]
+pub struct Rewriter {
+    /// The pristine starting design.
+    origin: Etpn,
+    /// The current design.
+    current: Etpn,
+    /// Applied transformations, in order.
+    log: Vec<Transform>,
+}
+
+impl Rewriter {
+    /// Start a rewrite session from `g`.
+    pub fn new(g: Etpn) -> Self {
+        Self {
+            origin: g.clone(),
+            current: g,
+            log: Vec::new(),
+        }
+    }
+
+    /// The current design.
+    pub fn design(&self) -> &Etpn {
+        &self.current
+    }
+
+    /// The pristine starting design.
+    pub fn origin(&self) -> &Etpn {
+        &self.origin
+    }
+
+    /// The applied transformation sequence.
+    pub fn log(&self) -> &[Transform] {
+        &self.log
+    }
+
+    /// Apply a transformation; on failure the design is unchanged and the
+    /// log does not grow.
+    pub fn apply(&mut self, t: Transform) -> TransformResult<()> {
+        let mut candidate = self.current.clone();
+        t.apply(&mut candidate)?;
+        self.current = candidate;
+        self.log.push(t);
+        Ok(())
+    }
+
+    /// Undo the last `n` transformations by replaying the rest from origin.
+    pub fn undo(&mut self, n: usize) -> TransformResult<()> {
+        let keep = self.log.len().saturating_sub(n);
+        let prefix: Vec<Transform> = self.log[..keep].to_vec();
+        let mut g = self.origin.clone();
+        for t in &prefix {
+            t.apply(&mut g)?;
+        }
+        self.current = g;
+        self.log = prefix;
+        Ok(())
+    }
+
+    /// Replay the whole log onto a fresh copy of the origin and confirm it
+    /// reproduces the current design — the provenance witness.
+    pub fn replay_matches(&self) -> TransformResult<bool> {
+        let mut g = self.origin.clone();
+        for t in &self.log {
+            t.apply(&mut g)?;
+        }
+        Ok(g == self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::EtpnBuilder;
+
+    fn chain() -> (Etpn, Vec<PlaceId>) {
+        let mut b = EtpnBuilder::new();
+        let r1 = b.register("r1");
+        let r2 = b.register("r2");
+        let r3 = b.register("r3");
+        let r4 = b.register("r4");
+        let a1 = b.connect(b.out_port(r1, 0), b.in_port(r3, 0));
+        let a2 = b.connect(b.out_port(r2, 0), b.in_port(r4, 0));
+        let s = b.serial_chain(4, "s");
+        b.control(s[1], [a1]);
+        b.control(s[2], [a2]);
+        (b.finish().unwrap(), s)
+    }
+
+    #[test]
+    fn apply_logs_and_mutates() {
+        let (g, s) = chain();
+        let mut rw = Rewriter::new(g);
+        rw.apply(Transform::Parallelize(s[1], s[2])).unwrap();
+        assert_eq!(rw.log().len(), 1);
+        let rel = etpn_core::ControlRelations::compute(&rw.design().ctl);
+        assert!(rel.parallel(s[1], s[2]));
+        assert!(rw.replay_matches().unwrap());
+    }
+
+    #[test]
+    fn failed_apply_leaves_state() {
+        let (g, s) = chain();
+        let mut rw = Rewriter::new(g.clone());
+        // s0 and s2 are not adjacent: shape mismatch.
+        assert!(rw.apply(Transform::Parallelize(s[0], s[2])).is_err());
+        assert_eq!(rw.log().len(), 0);
+        assert_eq!(*rw.design(), g);
+    }
+
+    #[test]
+    fn undo_replays_prefix() {
+        let (g, s) = chain();
+        let mut rw = Rewriter::new(g.clone());
+        rw.apply(Transform::Parallelize(s[1], s[2])).unwrap();
+        rw.apply(Transform::Serialize(s[2], s[1])).unwrap();
+        assert_eq!(rw.log().len(), 2);
+        rw.undo(2).unwrap();
+        assert_eq!(rw.log().len(), 0);
+        assert_eq!(*rw.design(), g);
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Transform::Parallelize(PlaceId::new(1), PlaceId::new(2));
+        assert_eq!(format!("{t}"), "parallelize(s1, s2)");
+        assert!(t.is_data_invariant());
+        let m = Transform::Merge(VertexId::new(3), VertexId::new(4));
+        assert!(!m.is_data_invariant());
+        assert_eq!(format!("{m}"), "merge(v3 into v4)");
+    }
+}

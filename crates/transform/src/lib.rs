@@ -1,0 +1,43 @@
+//! # etpn-transform — semantics-preserving rewrites for the ETPN model
+//!
+//! The synthesis calculus of *Peng, ICPP 1988* §4: two families of
+//! transformations whose composition moves "a design from an abstract
+//! description to a final implementation" without changing its external
+//! event structure.
+//!
+//! * [`data_invariant`] — control rewrites bounded by the data-dependence
+//!   relation `◇`: [`data_invariant::parallelize`],
+//!   [`data_invariant::serialize`], [`data_invariant::reorder`];
+//! * [`control_invariant`] — data-path rewrites with the control fixed:
+//!   [`control_invariant::merge`] (resource sharing) and
+//!   [`control_invariant::split`] (resource duplication);
+//! * [`verify`] — the decidable Def. 4.5 check and a randomized semantic
+//!   oracle falsifying Def. 4.1 equivalence;
+//! * [`history`] — replayable transformation logs ([`history::Rewriter`]);
+//! * [`legality`] — the shared precondition predicates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod control_invariant;
+pub mod data_invariant;
+pub mod error;
+pub mod extensions;
+pub mod history;
+pub mod legality;
+pub mod verify;
+
+pub use control_invariant::merge::VertexMerger;
+pub use control_invariant::split::split_vertex;
+pub use data_invariant::parallelize::Parallelizer;
+pub use data_invariant::reorder::reorder;
+pub use data_invariant::serialize::Serializer;
+pub use error::{TransformError, TransformResult};
+pub use extensions::bus::{form_buses, reify_transfer, BusReport};
+pub use extensions::chaining::chain;
+pub use extensions::unroll::{find_loops, loop_shape, unroll_loop};
+pub use history::{Rewriter, Transform};
+pub use verify::{
+    check_data_invariant, semantic_oracle, verify_transformation, DataInvarianceVerdict,
+    OracleConfig, OracleVerdict,
+};

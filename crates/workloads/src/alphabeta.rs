@@ -1,0 +1,81 @@
+//! An α–β tracking filter (the fixed-gain member of the Kalman family).
+//!
+//! Per measurement: predict `xp = xe + ve`, form the residual
+//! `r = z − xp`, and correct the position/velocity estimates with constant
+//! gains implemented as multiply-divide pairs. It is the only catalogue
+//! workload exercising the **divider** (the slowest, largest module in the
+//! library), and it emits *two* output streams per iteration — a stress
+//! test for the event machinery (two external writes per loop pass).
+
+use crate::workload::Workload;
+
+/// Source text.
+pub fn source() -> String {
+    "design alphabeta {
+        in z, n;
+        out pos, vel;
+        reg xe = 0, ve = 0, xp, r, i = 0, cnt;
+        cnt = n;
+        while (i < cnt) {
+            xp = xe + ve;
+            r = z - xp;
+            xe = xp + (3 * r) / 4;
+            ve = ve + r / 2;
+            pos = xe;
+            vel = ve;
+            i = i + 1;
+        }
+    }"
+    .to_string()
+}
+
+/// The workload tracking six noisy measurements of a ramp.
+pub fn workload() -> Workload {
+    Workload {
+        name: "alphabeta",
+        source: source(),
+        inputs: vec![
+            ("z".into(), vec![10, 22, 29, 42, 48, 61]),
+            ("n".into(), vec![6]),
+        ],
+        max_steps: 40_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plain-Rust mirror (truncating division, like `Op::Div`).
+    fn rust_ab(zs: &[i64]) -> (Vec<i64>, Vec<i64>) {
+        let (mut xe, mut ve) = (0i64, 0i64);
+        let (mut pos, mut vel) = (Vec::new(), Vec::new());
+        for &z in zs {
+            let xp = xe + ve;
+            let r = z - xp;
+            xe = xp + (3 * r) / 4;
+            ve += r / 2;
+            pos.push(xe);
+            vel.push(ve);
+        }
+        (pos, vel)
+    }
+
+    #[test]
+    fn reference_matches_plain_rust() {
+        let w = workload();
+        let out = w.expected();
+        let (pos, vel) = rust_ab(&w.inputs[0].1);
+        assert_eq!(out["pos"], pos);
+        assert_eq!(out["vel"], vel);
+    }
+
+    #[test]
+    fn tracks_a_ramp() {
+        let w = workload();
+        let out = w.expected();
+        // The velocity estimate should settle near the true slope (~10).
+        let v_last = *out["vel"].last().unwrap();
+        assert!((5..=15).contains(&v_last), "vel = {:?}", out["vel"]);
+    }
+}

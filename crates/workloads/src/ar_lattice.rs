@@ -1,0 +1,98 @@
+//! An auto-regressive lattice filter workload.
+//!
+//! The classic AR-filter benchmark is multiplication-heavy: **16
+//! multiplications and 12 additions** per sample. We build it as a
+//! six-stage lattice — each stage computes
+//! `f_i = f_{i-1} + k_i · b_{i-1}` and `b_i = b_{i-1} + k_i · f_{i-1}`
+//! (2 muls + 2 adds) — followed by four output-scaling multiplications,
+//! matching the published operation mix.
+
+use crate::workload::Workload;
+use std::fmt::Write;
+
+/// Lattice stages.
+pub const STAGES: usize = 6;
+/// Multiplications per sample.
+pub const MULS: usize = 2 * STAGES + 4;
+/// Additions per sample.
+pub const ADDS: usize = 2 * STAGES;
+
+/// Source text.
+pub fn source() -> String {
+    let ks: [i64; STAGES] = [2, -3, 1, 4, -2, 3];
+    let mut body = String::new();
+    let _ = writeln!(body, "            f0 = x;");
+    let _ = writeln!(body, "            b0 = z0;");
+    for (i, k) in ks.iter().enumerate() {
+        let j = i + 1;
+        let _ = writeln!(body, "            mf{j} = {k} * b{i};");
+        let _ = writeln!(body, "            mb{j} = {k} * f{i};");
+        let _ = writeln!(body, "            f{j} = f{i} + mf{j};");
+        let _ = writeln!(body, "            b{j} = b{i} + mb{j};");
+    }
+    let last = STAGES;
+    let _ = writeln!(body, "            o1 = 3 * f{last};");
+    let _ = writeln!(body, "            o2 = -2 * b{last};");
+    let _ = writeln!(body, "            o3 = 5 * o1;");
+    let _ = writeln!(body, "            o4 = 2 * o2;");
+    let _ = writeln!(body, "            y = o3;");
+    let _ = writeln!(body, "            z0 = o4;");
+
+    let regs: Vec<String> = (0..=STAGES)
+        .flat_map(|i| [format!("f{i}"), format!("b{i}")])
+        .chain((1..=STAGES).flat_map(|i| [format!("mf{i}"), format!("mb{i}")]))
+        .chain([
+            "z0 = 1".into(),
+            "o1".into(),
+            "o2".into(),
+            "o3".into(),
+            "o4".into(),
+            "i = 0".into(),
+            "cnt".into(),
+        ])
+        .collect();
+
+    format!(
+        "design ar_lattice {{
+        in x, n;
+        out y;
+        reg {};
+        cnt = n;
+        while (i < cnt) {{
+{body}            i = i + 1;
+        }}
+    }}",
+        regs.join(", ")
+    )
+}
+
+/// The workload filtering three samples.
+pub fn workload() -> Workload {
+    Workload {
+        name: "ar_lattice",
+        source: source(),
+        inputs: vec![("x".into(), vec![3, -1, 2]), ("n".into(), vec![3])],
+        max_steps: 20_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_output_per_sample() {
+        let out = workload().expected();
+        assert_eq!(out["y"].len(), 3);
+    }
+
+    #[test]
+    fn op_mix_matches_benchmark() {
+        // 2 muls/adds per stage + 4 output muls, per sample.
+        assert_eq!(MULS, 16);
+        assert_eq!(ADDS, 12);
+        let p = workload().program();
+        // Sanity: it parses and checks.
+        assert_eq!(p.name, "ar_lattice");
+    }
+}

@@ -1,0 +1,50 @@
+//! The benchmark catalogue: every standard workload in one list.
+
+use crate::workload::Workload;
+
+/// All standard benchmarks, in canonical order.
+pub fn catalog() -> Vec<Workload> {
+    vec![
+        crate::diffeq::workload(),
+        crate::ewf::workload(),
+        crate::fir::workload(),
+        crate::gcd::workload(),
+        crate::ar_lattice::workload(),
+        crate::iir::workload(),
+        crate::alphabeta::workload(),
+        crate::isqrt::workload(),
+    ]
+}
+
+/// Look up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    catalog().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_valid() {
+        let all = catalog();
+        assert_eq!(all.len(), 8);
+        for w in &all {
+            let p = w.program(); // parses and checks
+            assert!(!p.outputs.is_empty(), "{} has outputs", w.name);
+            let out = w.expected(); // reference interpreter runs
+            assert!(
+                out.values().any(|v| !v.is_empty()),
+                "{} produces output",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("gcd").is_some());
+        assert!(by_name("diffeq").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

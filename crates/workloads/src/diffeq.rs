@@ -1,0 +1,84 @@
+//! The HAL differential-equation solver (Paulin & Knight), the canonical
+//! high-level-synthesis benchmark of the paper's era.
+//!
+//! Solves `y'' + 3xy' + 3y = 0` by forward Euler over integers:
+//!
+//! ```text
+//! while (x < a) {
+//!     x1 = x + dx;
+//!     u1 = u − 3·x·u·dx − 3·y·dx;
+//!     y1 = y + u·dx;
+//!     x = x1; u = u1; y = y1;
+//! }
+//! ```
+//!
+//! The loop body has 6 multiplications, 2 subtractions and 2 additions plus
+//! the loop-bound comparison — the exact operation mix used in every
+//! scheduling study built on this benchmark.
+
+use crate::workload::Workload;
+
+/// Source text of the solver.
+pub fn source() -> String {
+    "design diffeq {
+        in xin, yin, uin, dxin, ain;
+        out xout, yout, uout;
+        reg x, y, u, dx, a, x1, u1, y1;
+        x = xin;
+        y = yin;
+        u = uin;
+        dx = dxin;
+        a = ain;
+        while (x < a) {
+            x1 = x + dx;
+            u1 = u - (3 * x) * (u * dx) - (3 * y) * dx;
+            y1 = y + u * dx;
+            x = x1;
+            u = u1;
+            y = y1;
+        }
+        xout = x;
+        yout = y;
+        uout = u;
+    }"
+    .to_string()
+}
+
+/// The workload with the standard small-integer input set.
+pub fn workload() -> Workload {
+    Workload {
+        name: "diffeq",
+        source: source(),
+        inputs: vec![
+            ("xin".into(), vec![0]),
+            ("yin".into(), vec![1]),
+            ("uin".into(), vec![1]),
+            ("dxin".into(), vec![1]),
+            ("ain".into(), vec![3]),
+        ],
+        max_steps: 2_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_outputs() {
+        let w = workload();
+        let out = w.expected();
+        // Forward-Euler over integers, dx = 1, three iterations (x: 0→3).
+        assert_eq!(out["xout"], vec![3]);
+        assert_eq!(out["yout"], vec![-2]);
+        assert_eq!(out["uout"], vec![10]);
+    }
+
+    #[test]
+    fn op_mix() {
+        let p = workload().program();
+        assert_eq!(p.assignment_count(), 14);
+        assert_eq!(p.inputs.len(), 5);
+        assert_eq!(p.outputs.len(), 3);
+    }
+}

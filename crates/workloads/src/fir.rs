@@ -1,0 +1,113 @@
+//! A 16-tap FIR filter workload.
+//!
+//! `y[n] = Σ_{i=0..15} c_i · x[n−i]` with a software delay line: one sample
+//! is read per iteration, multiplied against the coefficient bank, and the
+//! delay registers shift. 16 multiplications and 15 additions per sample —
+//! a wide, shallow DFG that parallelises well (the counterpoint to the
+//! deep diffeq recurrence).
+
+use crate::workload::Workload;
+use std::fmt::Write;
+
+/// Number of taps.
+pub const TAPS: usize = 16;
+
+/// The coefficient bank.
+pub fn coefficients() -> [i64; TAPS] {
+    [1, -2, 3, -1, 4, -3, 2, -4, 4, -2, 3, -4, 1, -3, 2, -1]
+}
+
+/// Source text.
+pub fn source() -> String {
+    let coeffs = coefficients();
+    let mut sum = String::from("c_acc");
+    let mut body = String::new();
+    let _ = writeln!(body, "            s = x;");
+    let _ = writeln!(body, "            c_acc = {} * s;", coeffs[0]);
+    for (i, c) in coeffs.iter().enumerate().skip(1) {
+        let _ = writeln!(body, "            p{i} = {c} * d{};", i - 1);
+    }
+    for i in 1..TAPS {
+        let next = format!("a{i}");
+        let _ = writeln!(body, "            {next} = {sum} + p{i};");
+        sum = next;
+    }
+    let _ = writeln!(body, "            y = {sum};");
+    // Shift the delay line (oldest first).
+    for i in (1..TAPS - 1).rev() {
+        let _ = writeln!(body, "            d{i} = d{};", i - 1);
+    }
+    let _ = writeln!(body, "            d0 = s;");
+
+    let regs: Vec<String> = (0..TAPS - 1)
+        .map(|i| format!("d{i} = 0"))
+        .chain((1..TAPS).map(|i| format!("p{i}")))
+        .chain((1..TAPS).map(|i| format!("a{i}")))
+        .chain(["s".into(), "c_acc".into(), "i = 0".into(), "cnt".into()])
+        .collect();
+
+    format!(
+        "design fir16 {{
+        in x, n;
+        out y;
+        reg {};
+        cnt = n;
+        while (i < cnt) {{
+{body}            i = i + 1;
+        }}
+    }}",
+        regs.join(", ")
+    )
+}
+
+/// The workload filtering six samples.
+pub fn workload() -> Workload {
+    Workload {
+        name: "fir16",
+        source: source(),
+        inputs: vec![
+            ("x".into(), vec![10, -5, 3, 7, 0, 2]),
+            ("n".into(), vec![6]),
+        ],
+        max_steps: 60_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plain-Rust FIR used to cross-check the interpreter reference.
+    fn rust_fir(samples: &[i64]) -> Vec<i64> {
+        let c = coefficients();
+        let mut delay = [0i64; TAPS - 1];
+        let mut out = Vec::new();
+        for &s in samples {
+            let mut acc = c[0] * s;
+            for i in 1..TAPS {
+                acc += c[i] * delay[i - 1];
+            }
+            out.push(acc);
+            for i in (1..TAPS - 1).rev() {
+                delay[i] = delay[i - 1];
+            }
+            delay[0] = s;
+        }
+        out
+    }
+
+    #[test]
+    fn reference_matches_plain_rust() {
+        let w = workload();
+        let out = w.expected();
+        let samples = &w.inputs[0].1;
+        assert_eq!(out["y"], rust_fir(samples));
+    }
+
+    #[test]
+    fn first_sample_is_c0_scaled() {
+        let w = workload();
+        let out = w.expected();
+        assert_eq!(out["y"][0], coefficients()[0] * w.inputs[0].1[0]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Euclid's GCD — the canonical control-dominated workload.
+//!
+//! Unlike the filters, GCD is all branching: a data-dependent `while` with
+//! an `if`/`else` inside. It exercises the guard machinery (Defs. 2.2,
+//! 3.1(4)) and the conflict-freedom checker rather than the schedulers.
+
+use crate::workload::Workload;
+
+/// Source text.
+pub fn source() -> String {
+    "design gcd {
+        in a, b;
+        out g;
+        reg x, y;
+        x = a;
+        y = b;
+        while (x != y) {
+            if (x > y) {
+                x = x - y;
+            } else {
+                y = y - x;
+            }
+        }
+        g = x;
+    }"
+    .to_string()
+}
+
+/// The workload computing `gcd(3528, 3780) = 252`.
+pub fn workload() -> Workload {
+    Workload {
+        name: "gcd",
+        source: source(),
+        inputs: vec![("a".into(), vec![3528]), ("b".into(), vec![3780])],
+        max_steps: 5_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_outputs() {
+        let out = workload().expected();
+        assert_eq!(out["g"], vec![252]);
+    }
+
+    #[test]
+    fn coprime_inputs() {
+        let mut w = workload();
+        w.inputs = vec![("a".into(), vec![17]), ("b".into(), vec![29])];
+        assert_eq!(w.expected()["g"], vec![1]);
+    }
+}

@@ -1,0 +1,117 @@
+//! A two-section IIR biquad cascade (direct form I).
+//!
+//! Each section computes
+//! `y = b0·x + b1·x1 + b2·x2 − a1·y1 − a2·y2` over its own delay
+//! registers — 5 multiplications and 4 additions per section per sample,
+//! with a *recurrence* through the section outputs: unlike the FIR, the
+//! feedback path bounds parallelisation across samples, making this the
+//! interesting middle point between the wide FIR and the serial GCD.
+
+use crate::workload::Workload;
+use std::fmt::Write;
+
+/// Sections in the cascade.
+pub const SECTIONS: usize = 2;
+
+/// Integer coefficient sets `(b0, b1, b2, a1, a2)` per section.
+pub fn coefficients() -> [(i64, i64, i64, i64, i64); SECTIONS] {
+    [(2, 3, 1, -1, 1), (1, -2, 2, 1, -1)]
+}
+
+/// Source text.
+pub fn source() -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "            s0in = x;");
+    for (k, (b0, b1, b2, a1, a2)) in coefficients().iter().enumerate() {
+        let x = if k == 0 {
+            "s0in".to_string()
+        } else {
+            format!("sec{}out", k - 1)
+        };
+        let _ = writeln!(body, "            t{k}a = {b0} * {x} + {b1} * x1_{k};");
+        let _ = writeln!(body, "            t{k}b = {b2} * x2_{k} - {a1} * y1_{k};");
+        let _ = writeln!(body, "            sec{k}out = t{k}a + t{k}b - {a2} * y2_{k};");
+        let _ = writeln!(body, "            x2_{k} = x1_{k};");
+        let _ = writeln!(body, "            x1_{k} = {x};");
+        let _ = writeln!(body, "            y2_{k} = y1_{k};");
+        let _ = writeln!(body, "            y1_{k} = sec{k}out;");
+    }
+    let _ = writeln!(body, "            y = sec{}out;", SECTIONS - 1);
+
+    let regs: Vec<String> = (0..SECTIONS)
+        .flat_map(|k| {
+            [
+                format!("x1_{k} = 0"),
+                format!("x2_{k} = 0"),
+                format!("y1_{k} = 0"),
+                format!("y2_{k} = 0"),
+                format!("t{k}a"),
+                format!("t{k}b"),
+                format!("sec{k}out"),
+            ]
+        })
+        .chain(["s0in".into(), "i = 0".into(), "cnt".into()])
+        .collect();
+
+    format!(
+        "design iir {{
+        in x, n;
+        out y;
+        reg {};
+        cnt = n;
+        while (i < cnt) {{
+{body}            i = i + 1;
+        }}
+    }}",
+        regs.join(", ")
+    )
+}
+
+/// The workload filtering five samples.
+pub fn workload() -> Workload {
+    Workload {
+        name: "iir",
+        source: source(),
+        inputs: vec![("x".into(), vec![8, -4, 2, 6, -1]), ("n".into(), vec![5])],
+        max_steps: 40_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plain-Rust cascade used to cross-check the interpreter reference.
+    fn rust_iir(samples: &[i64]) -> Vec<i64> {
+        let coeffs = coefficients();
+        let mut state = [[0i64; 4]; SECTIONS]; // x1, x2, y1, y2
+        let mut out = Vec::new();
+        for &s in samples {
+            let mut x = s;
+            for (k, &(b0, b1, b2, a1, a2)) in coeffs.iter().enumerate() {
+                let [x1, x2, y1, y2] = state[k];
+                let y = b0 * x + b1 * x1 + b2 * x2 - a1 * y1 - a2 * y2;
+                state[k] = [x, x1, y, y1];
+                x = y;
+            }
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn reference_matches_plain_rust() {
+        let w = workload();
+        let out = w.expected();
+        assert_eq!(out["y"], rust_iir(&w.inputs[0].1));
+    }
+
+    #[test]
+    fn feedback_is_active() {
+        // With feedback coefficients, a single impulse rings.
+        let mut w = workload();
+        w.inputs = vec![("x".into(), vec![1, 0, 0, 0]), ("n".into(), vec![4])];
+        let y = w.expected()["y"].clone();
+        assert!(y[1..].iter().any(|&v| v != 0), "{y:?}");
+    }
+}

@@ -1,0 +1,312 @@
+//! A reference interpreter for the behavioural language.
+//!
+//! Executes a [`Program`] directly over the AST with the same value
+//! semantics as the data path (wrapping two's-complement `i64`, division by
+//! zero undefined) — **independently of the ETPN machinery**. The workloads
+//! use it as a second, independent semantics: for every benchmark, the
+//! compiled design simulated on the ETPN engine must produce exactly the
+//! interpreter's outputs (cross-validation of compiler + simulator).
+//!
+//! Input-stream consumption mirrors the model: each statement (or condition
+//! evaluation) that reads an input consumes one stream value per evaluated
+//! occurrence set — an input read twice within one statement sees the same
+//! value, consecutive statements see consecutive values.
+
+use etpn_lang::{BinOp, Expr, Program, Stmt, UnOp};
+use std::collections::HashMap;
+
+/// Interpreter failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// An undefined value (uninitialised register, exhausted stream,
+    /// division by zero) reached an operation.
+    Undefined(String),
+    /// The step budget was exhausted (non-terminating loop).
+    StepLimit,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::Undefined(n) => write!(f, "undefined value in `{n}`"),
+            InterpError::StepLimit => write!(f, "interpreter step limit exceeded"),
+        }
+    }
+}
+
+/// The interpreter state and result.
+pub struct Interp<'p> {
+    prog: &'p Program,
+    regs: HashMap<String, Option<i64>>,
+    streams: HashMap<String, (Vec<i64>, usize)>,
+    outputs: HashMap<String, Vec<i64>>,
+    budget: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Create an interpreter over `prog` with named input streams.
+    pub fn new(prog: &'p Program, inputs: &[(String, Vec<i64>)]) -> Self {
+        let mut regs = HashMap::new();
+        for r in &prog.regs {
+            regs.insert(r.name.clone(), r.init);
+        }
+        let streams = inputs
+            .iter()
+            .map(|(n, v)| (n.clone(), (v.clone(), 0usize)))
+            .collect();
+        let outputs = prog
+            .outputs
+            .iter()
+            .map(|n| (n.clone(), Vec::new()))
+            .collect();
+        Self {
+            prog,
+            regs,
+            streams,
+            outputs,
+            budget: 1_000_000,
+        }
+    }
+
+    /// Run to completion; returns output name → emitted value sequence.
+    pub fn run(mut self) -> Result<HashMap<String, Vec<i64>>, InterpError> {
+        let body = &self.prog.body;
+        self.exec_block(body)?;
+        Ok(self.outputs)
+    }
+
+    fn tick(&mut self) -> Result<(), InterpError> {
+        if self.budget == 0 {
+            return Err(InterpError::StepLimit);
+        }
+        self.budget -= 1;
+        Ok(())
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<(), InterpError> {
+        for s in stmts {
+            self.exec_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<(), InterpError> {
+        self.tick()?;
+        match s {
+            Stmt::Assign { target, expr } => {
+                let (v, reads) = self.eval(expr)?;
+                self.consume(&reads);
+                if self.outputs.contains_key(target) {
+                    self.outputs.get_mut(target).expect("output").push(v);
+                } else {
+                    self.regs.insert(target.clone(), Some(v));
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let (c, reads) = self.eval(cond)?;
+                self.consume(&reads);
+                if c != 0 {
+                    self.exec_block(then_body)
+                } else {
+                    self.exec_block(else_body)
+                }
+            }
+            Stmt::While { cond, body } => loop {
+                self.tick()?;
+                let (c, reads) = self.eval(cond)?;
+                self.consume(&reads);
+                if c == 0 {
+                    return Ok(());
+                }
+                self.exec_block(body)?;
+            },
+            Stmt::Par(branches) => {
+                // Branches write disjoint registers (checked by the
+                // front-end); executing them in order is one legal
+                // interleaving.
+                for b in branches {
+                    self.exec_block(b)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluate an expression; returns the value and the set of input names
+    /// read (each to be consumed once by the caller).
+    fn eval(&self, e: &Expr) -> Result<(i64, Vec<String>), InterpError> {
+        let mut reads = Vec::new();
+        let v = self.eval_inner(e, &mut reads)?;
+        Ok((v, reads))
+    }
+
+    fn eval_inner(&self, e: &Expr, reads: &mut Vec<String>) -> Result<i64, InterpError> {
+        Ok(match e {
+            Expr::Const(v) => *v,
+            Expr::Var(n) => {
+                if let Some((stream, pos)) = self.streams.get(n) {
+                    if !reads.contains(n) {
+                        reads.push(n.clone());
+                    }
+                    *stream
+                        .get(*pos)
+                        .ok_or_else(|| InterpError::Undefined(format!("input {n}")))?
+                } else if self.prog.inputs.contains(n) {
+                    return Err(InterpError::Undefined(format!("input {n} (no stream)")));
+                } else {
+                    self.regs
+                        .get(n)
+                        .copied()
+                        .flatten()
+                        .ok_or_else(|| InterpError::Undefined(format!("register {n}")))?
+                }
+            }
+            Expr::Unary(op, inner) => {
+                let a = self.eval_inner(inner, reads)?;
+                match op {
+                    UnOp::Neg => a.wrapping_neg(),
+                    UnOp::Not => !a,
+                    UnOp::LNot => i64::from(a == 0),
+                }
+            }
+            Expr::Binary(op, x, y) => {
+                let a = self.eval_inner(x, reads)?;
+                let b = self.eval_inner(y, reads)?;
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(InterpError::Undefined("division by zero".into()));
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(InterpError::Undefined("remainder by zero".into()));
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+                    BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+                    BinOp::Eq => i64::from(a == b),
+                    BinOp::Ne => i64::from(a != b),
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Le => i64::from(a <= b),
+                    BinOp::Gt => i64::from(a > b),
+                    BinOp::Ge => i64::from(a >= b),
+                }
+            }
+            Expr::Ternary(c, a, b) => {
+                let cv = self.eval_inner(c, reads)?;
+                // Both branches are data-path hardware: evaluate both (they
+                // must be defined), select by condition — matching the Mux.
+                let av = self.eval_inner(a, reads)?;
+                let bv = self.eval_inner(b, reads)?;
+                if cv != 0 {
+                    av
+                } else {
+                    bv
+                }
+            }
+        })
+    }
+
+    fn consume(&mut self, reads: &[String]) {
+        for n in reads {
+            if let Some((_, pos)) = self.streams.get_mut(n) {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+/// Convenience: interpret `prog` with the given streams.
+pub fn interpret(
+    prog: &Program,
+    inputs: &[(String, Vec<i64>)],
+) -> Result<HashMap<String, Vec<i64>>, InterpError> {
+    Interp::new(prog, inputs).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_lang::parse;
+
+    fn run(src: &str, inputs: &[(&str, Vec<i64>)]) -> HashMap<String, Vec<i64>> {
+        let prog = parse(src).unwrap();
+        let inputs: Vec<(String, Vec<i64>)> = inputs
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.clone()))
+            .collect();
+        interpret(&prog, &inputs).unwrap()
+    }
+
+    #[test]
+    fn straight_line() {
+        let out = run(
+            "design t { in a, b; out y; reg r; r = a + b; y = r * 2; }",
+            &[("a", vec![3]), ("b", vec![4])],
+        );
+        assert_eq!(out["y"], vec![14]);
+    }
+
+    #[test]
+    fn gcd_loop() {
+        let src = "design gcd { in a, b; out g; reg x, y;
+            x = a; y = b;
+            while (x != y) { if (x > y) { x = x - y; } else { y = y - x; } }
+            g = x; }";
+        let out = run(src, &[("a", vec![48]), ("b", vec![36])]);
+        assert_eq!(out["g"], vec![12]);
+    }
+
+    #[test]
+    fn stream_consumption_per_statement() {
+        let src = "design t { in x; out y; reg r;
+            r = x + x;  // one consume, same value twice
+            y = r;
+            r = x;      // next value
+            y = r; }";
+        let out = run(src, &[("x", vec![5, 9])]);
+        assert_eq!(out["y"], vec![10, 9]);
+    }
+
+    #[test]
+    fn uninitialised_register_is_undefined() {
+        let prog = parse("design t { out y; reg r; y = r; }").unwrap();
+        assert!(matches!(
+            interpret(&prog, &[]),
+            Err(InterpError::Undefined(_))
+        ));
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let prog = parse("design t { reg r = 1; while (r) { r = 1; } }").unwrap();
+        assert_eq!(interpret(&prog, &[]), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn par_executes_all_branches() {
+        let out = run(
+            "design t { in a; out y, z; reg r1, r2;
+                r1 = a;
+                par { { r1 = r1 + 1; } { r2 = 10; } }
+                y = r1; z = r2; }",
+            &[("a", vec![1])],
+        );
+        assert_eq!(out["y"], vec![2]);
+        assert_eq!(out["z"], vec![10]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Integer square root by Newton's method — the classic "SQRT"
+//! control-flow benchmark.
+//!
+//! `y ← (y + a/y) / 2` iterated from `y₀ = a/2 + 1` (which upper-bounds
+//! `√a` for every `a ≥ 0`, so the Newton iteration descends monotonically
+//! and the divisor never vanishes) until `y·y ≤ a`. A data-dependent trip
+//! count with a division *inside* the recurrence: together with GCD this
+//! anchors the control-dominated end of the catalogue.
+
+use crate::workload::Workload;
+
+/// Source text.
+pub fn source() -> String {
+    "design isqrt {
+        in a;
+        out root;
+        reg x, y;
+        x = a;
+        y = x / 2 + 1;
+        while (y * y > x) {
+            y = (y + x / y) / 2;
+        }
+        root = y;
+    }"
+    .to_string()
+}
+
+/// The workload computing `isqrt(170)` = 13.
+pub fn workload() -> Workload {
+    Workload {
+        name: "isqrt",
+        source: source(),
+        inputs: vec![("a".into(), vec![170])],
+        max_steps: 5_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_outputs() {
+        assert_eq!(workload().expected()["root"], vec![13]);
+    }
+
+    #[test]
+    fn exact_and_edge_cases() {
+        for (a, want) in [(0, 0), (1, 1), (4, 2), (15, 3), (16, 4), (10_000, 100)] {
+            let mut w = workload();
+            w.inputs = vec![("a".into(), vec![a])];
+            assert_eq!(w.expected()["root"], vec![want], "isqrt({a})");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Seeded random workload generators for the scaling experiments (E7, E9).
+//!
+//! * [`random_program`] — layered straight-line programs: each layer writes
+//!   fresh registers from values of earlier layers; optional `par` blocks
+//!   introduce genuine control concurrency;
+//! * [`random_net`] — random ETPN control skeletons built directly (serial
+//!   chains with nested fork/join diamonds over a register file), for
+//!   analysis benchmarks that need nets far larger than realistic programs.
+
+use etpn_core::{ArcId, Etpn, EtpnBuilder, PlaceId};
+use etpn_lang::Program;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Parameters for [`random_program`].
+#[derive(Clone, Copy, Debug)]
+pub struct ProgramShape {
+    /// Number of assignment statements.
+    pub assignments: usize,
+    /// Number of registers to cycle through.
+    pub registers: usize,
+    /// Probability (percent) that a group of statements forms a `par` block.
+    pub par_percent: u32,
+}
+
+impl Default for ProgramShape {
+    fn default() -> Self {
+        Self {
+            assignments: 32,
+            registers: 8,
+            par_percent: 25,
+        }
+    }
+}
+
+/// Generate a random program (always parses and checks).
+pub fn random_program(seed: u64, shape: ProgramShape) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nregs = shape.registers.max(4); // ≥ 4 so par groups (≤ 3) always have readable registers
+    let mut body = String::new();
+    let ops = ["+", "-", "*", "&", "|", "^"];
+    let mut emitted = 0usize;
+    let mut next_reg = 0usize;
+    while emitted < shape.assignments {
+        let group = if rng.gen_range(0..100) < shape.par_percent && emitted + 2 <= shape.assignments
+        {
+            rng.gen_range(2..=3.min(shape.assignments - emitted))
+        } else {
+            1
+        };
+        // Target registers: round-robin guarantees par branches write
+        // disjoint registers.
+        let targets: Vec<usize> = (0..group)
+            .map(|j| (next_reg + j) % nregs)
+            .collect();
+        next_reg += group;
+        // Reads must avoid the group's targets: a parallel branch reading a
+        // register another branch writes would race (the states would be
+        // ◇-dependent, and the schedule-dependent value would break the
+        // interpreter/simulator cross-check).
+        let readable: Vec<usize> = (0..nregs).filter(|r| !targets.contains(r)).collect();
+        let mut stmts = Vec::new();
+        for &tgt in &targets {
+            let a = readable[rng.gen_range(0..readable.len())];
+            let b = readable[rng.gen_range(0..readable.len())];
+            let op = ops[rng.gen_range(0..ops.len())];
+            stmts.push(format!("r{tgt} = r{a} {op} r{b};"));
+            emitted += 1;
+        }
+        if stmts.len() > 1 {
+            let branches: Vec<String> =
+                stmts.iter().map(|s| format!("{{ {s} }}")).collect();
+            let _ = writeln!(body, "        par {{ {} }}", branches.join(" "));
+        } else {
+            let _ = writeln!(body, "        {}", stmts[0]);
+        }
+    }
+    let regs: Vec<String> = (0..nregs)
+        .map(|i| format!("r{i} = {}", i as i64 + 1))
+        .collect();
+    let src = format!(
+        "design rnd {{
+        in x;
+        out y;
+        reg {};
+        r0 = x;
+{body}        y = r0;
+    }}",
+        regs.join(", ")
+    );
+    etpn_lang::parse_and_check(&src).expect("generated program is valid")
+}
+
+/// Generate a random ETPN control skeleton with `n_places` control states.
+///
+/// The net is a serial chain interspersed with fork/join diamonds; every
+/// state loads one register from a shared constant pool, so the design
+/// passes the properly-designed checks.
+pub fn random_net(seed: u64, n_places: usize) -> Etpn {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = EtpnBuilder::new();
+    let k = b.constant(1, "k1");
+    // One register per state keeps associated sets disjoint.
+    let mk_state = |b: &mut EtpnBuilder, i: usize| -> (PlaceId, ArcId) {
+        let r = b.register(&format!("r{i}"));
+        let a = b.connect(b.out_port(k, 0), b.in_port(r, 0));
+        let s = b.place(&format!("s{i}"));
+        b.control(s, [a]);
+        (s, a)
+    };
+    let (first, _) = mk_state(&mut b, 0);
+    b.mark(first);
+    let mut current = first;
+    let mut made = 1usize;
+    let mut tcount = 0usize;
+    while made < n_places {
+        let remaining = n_places - made;
+        if remaining >= 3 && rng.gen_bool(0.3) {
+            // Diamond: fork into two states, then join into one.
+            let (sa, _) = mk_state(&mut b, made);
+            let (sb, _) = mk_state(&mut b, made + 1);
+            let (sj, _) = mk_state(&mut b, made + 2);
+            made += 3;
+            let tf = b.transition(&format!("t{tcount}"));
+            tcount += 1;
+            b.flow_st(current, tf);
+            b.flow_ts(tf, sa);
+            b.flow_ts(tf, sb);
+            let tj = b.transition(&format!("t{tcount}"));
+            tcount += 1;
+            b.flow_st(sa, tj);
+            b.flow_st(sb, tj);
+            b.flow_ts(tj, sj);
+            current = sj;
+        } else {
+            let (s, _) = mk_state(&mut b, made);
+            made += 1;
+            let t = b.transition(&format!("t{tcount}"));
+            tcount += 1;
+            b.flow_st(current, t);
+            b.flow_ts(t, s);
+            current = s;
+        }
+    }
+    let t_end = b.transition("t_end");
+    b.flow_st(current, t_end);
+    b.finish().expect("generated net is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_analysis::proper::check_properly_designed;
+
+    #[test]
+    fn random_program_is_deterministic_per_seed() {
+        let p1 = random_program(7, ProgramShape::default());
+        let p2 = random_program(7, ProgramShape::default());
+        assert_eq!(p1, p2);
+        let p3 = random_program(8, ProgramShape::default());
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn random_program_has_requested_size() {
+        let shape = ProgramShape {
+            assignments: 50,
+            registers: 6,
+            par_percent: 30,
+        };
+        let p = random_program(1, shape);
+        // +2 for the input load and output emit.
+        assert_eq!(p.assignment_count(), 52);
+    }
+
+    #[test]
+    fn random_net_sizes_and_properness() {
+        for n in [4, 17, 64] {
+            let g = random_net(3, n);
+            assert_eq!(g.ctl.places().len(), n, "n={n}");
+            let rep = check_properly_designed(&g);
+            assert!(rep.is_proper(), "n={n}: {}", rep.summary());
+        }
+    }
+
+    #[test]
+    fn random_net_interpretable_by_sim() {
+        let g = random_net(5, 12);
+        let trace = etpn_sim::Simulator::new(&g, etpn_sim::ScriptedEnv::new())
+            .run(100)
+            .unwrap();
+        assert_eq!(trace.termination, etpn_sim::Termination::Terminated);
+    }
+}

@@ -1,0 +1,41 @@
+//! The common workload container.
+
+use etpn_lang::Program;
+use etpn_sim::ScriptedEnv;
+use std::collections::HashMap;
+
+/// A named benchmark: source text plus a representative input set.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short name (`diffeq`, `ewf`, …).
+    pub name: &'static str,
+    /// Behavioural source text.
+    pub source: String,
+    /// Representative input streams.
+    pub inputs: Vec<(String, Vec<i64>)>,
+    /// Simulation step budget adequate for the representative inputs.
+    pub max_steps: u64,
+}
+
+impl Workload {
+    /// Parse (and check) the source.
+    pub fn program(&self) -> Program {
+        etpn_lang::parse_and_check(&self.source)
+            .unwrap_or_else(|e| panic!("workload {}: {e}", self.name))
+    }
+
+    /// The representative environment as a [`ScriptedEnv`].
+    pub fn env(&self) -> ScriptedEnv {
+        let mut env = ScriptedEnv::new();
+        for (name, values) in &self.inputs {
+            env = env.with_stream(name, values.iter().copied());
+        }
+        env
+    }
+
+    /// Reference outputs computed by the independent AST interpreter.
+    pub fn expected(&self) -> HashMap<String, Vec<i64>> {
+        crate::interp::interpret(&self.program(), &self.inputs)
+            .unwrap_or_else(|e| panic!("workload {} reference run: {e}", self.name))
+    }
+}

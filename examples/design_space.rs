@@ -1,0 +1,56 @@
+//! Design-space exploration of the elliptic wave filter: sweep latency caps
+//! under the min-area objective and print the resulting area/delay Pareto
+//! front — the classic time/area trade-off the transformational method
+//! navigates with merges (share units, slower) and parallelisations (more
+//! units, faster).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use etpn::prelude::*;
+
+fn main() {
+    let w = etpn::workloads::by_name("ewf").expect("catalogued");
+    let lib = ModuleLibrary::standard();
+
+    // Anchor the sweep: fully parallel latency vs serial latency.
+    let fast = synthesize(&w.source, Objective::MinDelay { max_area: None }, &lib)
+        .expect("min-delay run");
+    let l_fast = fast.final_cost.latency_bound;
+    let l_serial = fast.initial_cost.latency_bound;
+    println!("latency range: {l_fast} (parallel) … {l_serial} (serial)\n");
+
+    println!("{:>8} {:>9} {:>7} {:>7} {:>7}", "cap", "latency", "area", "units", "moves");
+    let points = 7u64;
+    let span = l_serial.saturating_sub(l_fast).max(1);
+    let mut front: Vec<(u64, u64)> = Vec::new();
+    for k in 0..points {
+        let cap = l_fast + span * k / (points - 1);
+        let res = synthesize(
+            &w.source,
+            Objective::MinArea {
+                max_latency: Some(cap),
+            },
+            &lib,
+        )
+        .expect("constrained run");
+        println!(
+            "{:>8} {:>9} {:>7} {:>7} {:>7}",
+            cap,
+            res.final_cost.latency_bound,
+            res.final_cost.total_area,
+            res.final_cost.vertices,
+            res.transform_log.len()
+        );
+        front.push((res.final_cost.latency_bound, res.final_cost.total_area));
+    }
+
+    // A crude ASCII rendering of the front.
+    println!("\narea vs latency:");
+    let max_area = front.iter().map(|&(_, a)| a).max().unwrap_or(1);
+    for &(lat, area) in &front {
+        let bar = (area * 50 / max_area.max(1)) as usize;
+        println!("{lat:>6} | {} {area}", "█".repeat(bar));
+    }
+}

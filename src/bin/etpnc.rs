@@ -1,0 +1,235 @@
+//! `etpnc` — the command-line driver for the ETPN synthesis flow.
+//!
+//! ```text
+//! etpnc check  <design.hdl>                      # parse + Def. 3.2 analysis
+//! etpnc build  <design.hdl> [options]            # full synthesis → files
+//! etpnc run    <design.hdl> --set x=1,2 [...]    # simulate on the model
+//! etpnc interp <design.hdl> --set x=1,2 [...]    # reference interpreter
+//! etpnc dot    <design.hdl>                      # graphviz to stdout
+//!
+//! build options:
+//!   --objective min-delay|min-area|balanced   (default balanced)
+//!   --max-area N | --max-latency N            (constraint for the objective)
+//!   --grade standard|fast|small               (module library speed grade)
+//!   -o DIR                                    (output directory, default .)
+//! run options:
+//!   --set NAME=v1,v2,…                        (input stream, repeatable)
+//!   --steps N                                 (budget, default 100000)
+//!   --vcd FILE                                (dump register waveforms)
+//!   --coverage                                (state/transition coverage)
+//! ```
+
+use etpn::analysis::proper::check_properly_designed;
+use etpn::core::dot;
+use etpn::sim::{ScriptedEnv, Simulator};
+use etpn::synth::{synthesize, Grade, ModuleLibrary, Objective};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: etpnc <check|build|run|interp|dot> <design.hdl> [options]");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "check" => cmd_check(rest),
+        "build" => cmd_build(rest),
+        "run" => cmd_run(rest, false),
+        "interp" => cmd_run(rest, true),
+        "dot" => cmd_dot(rest),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("etpnc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_source(args: &[String]) -> Result<(String, String), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("missing design file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok((path.clone(), src))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let (_, src) = read_source(args)?;
+    let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
+    let (v, p, a, s, t) = d.etpn.size();
+    println!("design `{}`: {v} vertices, {p} ports, {a} arcs, {s} states, {t} transitions", d.name);
+    let report = check_properly_designed(&d.etpn);
+    print!("{}", report.summary());
+    if report.is_proper() {
+        Ok(())
+    } else {
+        Err("design is not properly designed".into())
+    }
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let (_, src) = read_source(args)?;
+    let objective = match flag_value(args, "--objective").unwrap_or("balanced") {
+        "min-delay" => Objective::MinDelay {
+            max_area: flag_value(args, "--max-area")
+                .map(|v| v.parse().map_err(|e| format!("--max-area: {e}")))
+                .transpose()?,
+        },
+        "min-area" => Objective::MinArea {
+            max_latency: flag_value(args, "--max-latency")
+                .map(|v| v.parse().map_err(|e| format!("--max-latency: {e}")))
+                .transpose()?,
+        },
+        "balanced" => Objective::Balanced,
+        other => return Err(format!("unknown objective `{other}`")),
+    };
+    let grade = match flag_value(args, "--grade").unwrap_or("standard") {
+        "standard" => Grade::Standard,
+        "fast" => Grade::Fast,
+        "small" => Grade::Small,
+        other => return Err(format!("unknown grade `{other}`")),
+    };
+    let outdir = flag_value(args, "-o").unwrap_or(".");
+    std::fs::create_dir_all(outdir).map_err(|e| format!("creating {outdir}: {e}"))?;
+
+    let lib = ModuleLibrary::with_grade(grade);
+    let res = synthesize(&src, objective, &lib).map_err(|e| e.to_string())?;
+
+    let write = |name: &str, contents: &str| -> Result<(), String> {
+        let path = format!("{outdir}/{}.{name}", res.compiled.name);
+        std::fs::write(&path, contents).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+        Ok(())
+    };
+    write("netlist.txt", &res.netlist)?;
+    write("v", &etpn::synth::verilog(&res.optimized, &lib, &res.compiled.name))?;
+    write("binding.txt", &res.binding.render())?;
+    write("datapath.dot", &dot::datapath_dot(&res.optimized))?;
+    write("control.dot", &dot::control_dot(&res.optimized))?;
+    let mut report = String::new();
+    report.push_str(&format!(
+        "objective: {objective:?}\ninitial: {:?}\nfinal:   {:?}\nspeedup: {:.2}x  area: {:.2}x\n\ntransformations:\n",
+        res.initial_cost,
+        res.final_cost,
+        res.optimizer.speedup(),
+        res.optimizer.area_reduction()
+    ));
+    for t in &res.transform_log {
+        report.push_str(&format!("  {t}\n"));
+    }
+    write("report.txt", &report)?;
+    println!(
+        "synthesis: area {}→{}, latency bound {}→{}, {} transformations",
+        res.initial_cost.total_area,
+        res.final_cost.total_area,
+        res.initial_cost.latency_bound,
+        res.final_cost.latency_bound,
+        res.transform_log.len()
+    );
+    Ok(())
+}
+
+fn parse_streams(args: &[String]) -> Result<Vec<(String, Vec<i64>)>, String> {
+    let mut streams = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--set" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--set needs NAME=v1,v2,…")?;
+            let (name, values) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad --set `{spec}`"))?;
+            let values: Vec<i64> = values
+                .split(',')
+                .map(|v| v.trim().parse().map_err(|e| format!("--set {name}: {e}")))
+                .collect::<Result<_, _>>()?;
+            streams.push((name.to_string(), values));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(streams)
+}
+
+fn cmd_run(args: &[String], use_interpreter: bool) -> Result<(), String> {
+    let (_, src) = read_source(args)?;
+    let streams = parse_streams(args)?;
+    let steps: u64 = flag_value(args, "--steps")
+        .map(|v| v.parse().map_err(|e| format!("--steps: {e}")))
+        .transpose()?
+        .unwrap_or(100_000);
+
+    if use_interpreter {
+        let prog = etpn::lang::parse_and_check(&src).map_err(|e| e.to_string())?;
+        let out = etpn::workloads::interpret(&prog, &streams).map_err(|e| e.to_string())?;
+        for name in &prog.outputs {
+            println!("{name} = {:?}", out[name]);
+        }
+        return Ok(());
+    }
+
+    let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
+    let mut env = ScriptedEnv::new();
+    for (name, values) in &streams {
+        env = env.with_stream(name, values.iter().copied());
+    }
+    let mut sim = Simulator::new(&d.etpn, env);
+    for (name, v) in &d.reg_inits {
+        sim = sim.init_register(name, *v);
+    }
+    let vcd_path = flag_value(args, "--vcd");
+    if vcd_path.is_some() {
+        sim = sim.watch_registers();
+    }
+    let trace = sim.run(steps).map_err(|e| e.to_string())?;
+    if let Some(path) = vcd_path {
+        let vcd = etpn::sim::vcd::render(&d.etpn, &trace)
+            .ok_or("nothing captured for the VCD")?;
+        std::fs::write(path, vcd).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if args.iter().any(|a| a == "--coverage") {
+        let cov = etpn::sim::coverage(&d.etpn, &trace);
+        let (ps, ts) = cov.percentages();
+        println!("coverage: {ps:.0}% states, {ts:.0}% transitions");
+        for (_, name) in &cov.unvisited_places {
+            println!("  never activated: {name}");
+        }
+        for (_, name) in &cov.unfired_transitions {
+            println!("  never fired:     {name}");
+        }
+    }
+    println!(
+        "{:?} after {} steps, {} firings, {} external events",
+        trace.termination,
+        trace.steps,
+        trace.firings,
+        trace.event_count()
+    );
+    let prog = etpn::lang::parse_and_check(&src).map_err(|e| e.to_string())?;
+    for name in &prog.outputs {
+        println!("{name} = {:?}", trace.values_on_named_output(&d.etpn, name));
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let (_, src) = read_source(args)?;
+    let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
+    println!("{}", dot::datapath_dot(&d.etpn));
+    println!("{}", dot::control_dot(&d.etpn));
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! # ETPN — a parallel computation model for digital hardware synthesis
+//!
+//! This crate is the facade of the `etpn` workspace, a full implementation of
+//! the data/control-flow computation model of
+//! *Zebo Peng, "Semantics of a Parallel Computation Model and its
+//! Applications in Digital Hardware Design", Proc. ICPP 1988*, together with
+//! the CAMAD-style transformational high-level-synthesis pipeline the paper
+//! describes.
+//!
+//! The model (later known as **ETPN**, the Extended Timed Petri Net) couples
+//!
+//! * a **data path** — a directed port graph of registers, operators and I/O
+//!   pads ([`core::DataPath`], paper Def. 2.1), with
+//! * a **Petri-net control structure** whose marked places open data-path
+//!   arcs and whose transitions are guarded by data-path conditions
+//!   ([`core::Control`], Def. 2.2),
+//!
+//! and defines the *semantics* of a design as its **external event
+//! structure** — the values it exchanges with the environment plus their
+//! precedence/concurrency relations (Defs. 3.3–3.6). Two designs are
+//! equivalent iff their external event structures coincide (Def. 4.1), which
+//! licenses two families of internal rewrites:
+//!
+//! * **data-invariant** control rewrites (parallelisation, serialisation,
+//!   reordering — Thm. 4.1) in [`transform::data_invariant`], and
+//! * **control-invariant** data-path rewrites (vertex merger / resource
+//!   sharing — Thm. 4.2) in [`transform::control_invariant`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use etpn::prelude::*;
+//!
+//! // Build a two-state design: s0 loads `a+b` into a register, s1 writes it out.
+//! let mut b = EtpnBuilder::new();
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let add = b.operator(Op::Add, 2, "add");
+//! let r = b.register("r");
+//! let out = b.output("y");
+//! let op_a = b.connect(b.out_port(a, 0), b.in_port(add, 0));
+//! let op_b = b.connect(b.out_port(c, 0), b.in_port(add, 1));
+//! let load = b.connect(b.out_port(add, 0), b.in_port(r, 0));
+//! let emit = b.connect(b.out_port(r, 0), b.in_port(out, 0));
+//! let s0 = b.place("s0");
+//! let s1 = b.place("s1");
+//! b.control(s0, [op_a, op_b, load]);
+//! b.control(s1, [emit]);
+//! b.seq(s0, s1, "t0");
+//! let s_end = b.place("end");
+//! b.seq(s1, s_end, "t1");
+//! let fin = b.transition("fin");
+//! b.flow_st(s_end, fin);
+//! b.mark(s0);
+//! let gamma = b.finish().expect("valid design");
+//!
+//! // Run it against a scripted environment.
+//! let env = ScriptedEnv::new().with_stream("a", [3]).with_stream("b", [4]);
+//! let trace = Simulator::new(&gamma, env).run(8).expect("simulation succeeds");
+//! assert_eq!(trace.values_on_named_output(&gamma, "y"), vec![7]);
+//! ```
+//!
+//! ## Workspace layout
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `etpn-core` | the model: data path, control net, events |
+//! | [`sim`] | `etpn-sim` | operational semantics, traces, determinism tests |
+//! | [`analysis`] | `etpn-analysis` | Def. 3.2 checks, data dependence, critical path |
+//! | [`transform`] | `etpn-transform` | semantics-preserving rewrites + verification |
+//! | [`lang`] | `etpn-lang` | behavioural HDL front-end |
+//! | [`synth`] | `etpn-synth` | CAMAD-style synthesis pipeline |
+//! | [`workloads`] | `etpn-workloads` | diffeq, EWF, FIR16, GCD, AR lattice, IIR, α–β, isqrt, random nets |
+
+pub use etpn_analysis as analysis;
+pub use etpn_core as core;
+pub use etpn_lang as lang;
+pub use etpn_sim as sim;
+pub use etpn_synth as synth;
+pub use etpn_transform as transform;
+pub use etpn_workloads as workloads;
+
+/// Convenience re-exports covering the common end-to-end flow.
+pub mod prelude {
+    pub use etpn_analysis::proper::{check_properly_designed, ProperReport};
+    pub use etpn_core::{
+        builder::EtpnBuilder, control::Control, datapath::DataPath, etpn::Etpn, op::Op,
+        value::Value,
+    };
+    pub use etpn_sim::{
+        engine::Simulator, env::ScriptedEnv, policy::FiringPolicy, trace::Trace,
+    };
+    pub use etpn_synth::{
+        module_lib::ModuleLibrary,
+        optimizer::{Objective, Optimizer},
+        pipeline::{compile_source, synthesize},
+        verilog::verilog,
+    };
+    pub use etpn_transform::{
+        control_invariant::merge::VertexMerger, data_invariant::parallelize::Parallelizer,
+        history::Rewriter,
+    };
+    pub use etpn_workloads::{catalog, Workload};
+}
