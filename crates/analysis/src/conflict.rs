@@ -49,8 +49,7 @@ fn guards_exclusive(g: &Etpn, g1: &[PortId], g2: &[PortId]) -> bool {
     g1.iter().all(|&p1| {
         g2.iter().all(|&p2| {
             let (port1, port2) = (g.dp.port(p1), g.dp.port(p2));
-            port1.vertex == port2.vertex
-                && complementary(port1.operation(), port2.operation())
+            port1.vertex == port2.vertex && complementary(port1.operation(), port2.operation())
         })
     })
 }

@@ -62,14 +62,14 @@ pub fn state_delay(g: &Etpn, s: PlaceId, delay: &dyn Fn(Op) -> u64) -> u64 {
         }
         let port = g.dp.port(p);
         let d = match port.dir {
-            Dir::In => g
-                .dp
-                .incoming_arcs(p)
-                .iter()
-                .filter(|&&a| arc_set.contains(a.idx()))
-                .map(|&a| longest(g, g.dp.arc(a).from, arc_set, delay, memo, visiting))
-                .max()
-                .unwrap_or(0),
+            Dir::In => {
+                g.dp.incoming_arcs(p)
+                    .iter()
+                    .filter(|&&a| arc_set.contains(a.idx()))
+                    .map(|&a| longest(g, g.dp.arc(a).from, arc_set, delay, memo, visiting))
+                    .max()
+                    .unwrap_or(0)
+            }
             Dir::Out => {
                 let op = port.operation();
                 if op.is_sequential() || matches!(op, Op::Const(_)) {
@@ -155,8 +155,7 @@ pub fn critical_path(g: &Etpn, delay: &dyn Fn(Op) -> u64) -> CriticalPath {
         Grey,
         Black,
     }
-    let mut colour: HashMap<PlaceId, Colour> =
-        places.iter().map(|&s| (s, Colour::White)).collect();
+    let mut colour: HashMap<PlaceId, Colour> = places.iter().map(|&s| (s, Colour::White)).collect();
     let mut dag: HashMap<PlaceId, Vec<PlaceId>> = HashMap::new();
     let mut roots: Vec<PlaceId> = g.ctl.initial_places();
     roots.extend(places.iter().copied());

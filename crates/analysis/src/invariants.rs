@@ -53,8 +53,7 @@ pub fn p_invariants(control: &Control) -> PInvariants {
     // Eliminate.
     let mut pivot_rows: Vec<usize> = Vec::new();
     for col in 0..nt {
-        let Some(pr) = (0..rows.len())
-            .find(|&r| !pivot_rows.contains(&r) && rows[r].0[col] != 0)
+        let Some(pr) = (0..rows.len()).find(|&r| !pivot_rows.contains(&r) && rows[r].0[col] != 0)
         else {
             continue;
         };

@@ -33,5 +33,7 @@ pub use critical_path::{critical_path, default_delay, state_delay, CriticalPath}
 pub use datadep::DataDependence;
 pub use invariants::{p_invariants, t_invariants, PInvariants, TInvariants};
 pub use liveness::{liveness, LivenessReport};
-pub use proper::{check_properly_designed, check_properly_designed_with, ProperReport, SafetyVerdict};
+pub use proper::{
+    check_properly_designed, check_properly_designed_with, ProperReport, SafetyVerdict,
+};
 pub use reach::{is_safe, ReachGraph};

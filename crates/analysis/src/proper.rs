@@ -85,14 +85,24 @@ impl ProperReport {
             self.shared_resources.len()
         ));
         out.push_str(&format!("  (2) safety: {:?}\n", self.safety));
-        let unproven = self.conflicts.iter().filter(|c| !c.proven_exclusive).count();
+        let unproven = self
+            .conflicts
+            .iter()
+            .filter(|c| !c.proven_exclusive)
+            .count();
         out.push_str(&format!("  (3) unproven-exclusive pairs: {unproven}\n"));
-        out.push_str(&format!("  (4) combinational loops: {}\n", self.comb_loops.len()));
+        out.push_str(&format!(
+            "  (4) combinational loops: {}\n",
+            self.comb_loops.len()
+        ));
         out.push_str(&format!(
             "  (5) working states without sequential vertex: {}\n",
             self.no_sequential.len()
         ));
-        out.push_str(&format!("  idle states (warnings): {}\n", self.idle_states.len()));
+        out.push_str(&format!(
+            "  idle states (warnings): {}\n",
+            self.idle_states.len()
+        ));
         out
     }
 }
@@ -120,8 +130,7 @@ pub fn check_properly_designed_with(g: &Etpn, max_states: usize) -> ProperReport
             if !rel.parallel(si, sj) {
                 continue;
             }
-            let vertices: Vec<VertexId> =
-                ass_v[i].intersection(&ass_v[j]).copied().collect();
+            let vertices: Vec<VertexId> = ass_v[i].intersection(&ass_v[j]).copied().collect();
             let arcs: Vec<ArcId> = ass_a[i].intersection(&ass_a[j]).copied().collect();
             if !vertices.is_empty() || !arcs.is_empty() {
                 shared_resources.push(SharedResource {

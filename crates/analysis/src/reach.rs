@@ -89,9 +89,7 @@ impl ReachGraph {
         self.markings
             .iter()
             .enumerate()
-            .filter(|(_, m)| {
-                !m.is_terminated() && m.enabled_transitions(control).is_empty()
-            })
+            .filter(|(_, m)| !m.is_terminated() && m.enabled_transitions(control).is_empty())
             .map(|(i, _)| i)
             .collect()
     }

@@ -45,9 +45,7 @@ fn bench_determinism(c: &mut Criterion) {
     let w = by_name("gcd").unwrap();
     let d = etpn_synth::compile_source(&w.source).unwrap();
     group.bench_function("gcd_battery", |b| {
-        b.iter(|| {
-            etpn_sim::check_determinism_with(&d.etpn, &w.env(), 2, w.max_steps, &d.reg_inits)
-        })
+        b.iter(|| etpn_sim::check_determinism_with(&d.etpn, &w.env(), 2, w.max_steps, &d.reg_inits))
     });
     group.finish();
 }

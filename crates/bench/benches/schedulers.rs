@@ -14,9 +14,7 @@ fn body_dfg(name: &str) -> Dfg {
         .body
         .iter()
         .find_map(|s| match s {
-            Stmt::While { body, .. }
-                if body.iter().all(|st| matches!(st, Stmt::Assign { .. })) =>
-            {
+            Stmt::While { body, .. } if body.iter().all(|st| matches!(st, Stmt::Assign { .. })) => {
                 Some(body.clone())
             }
             _ => None,

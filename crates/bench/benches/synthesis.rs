@@ -3,9 +3,7 @@
 //! move-selection strategies at a fixed budget.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use etpn_synth::{
-    compile_source, synthesize, ModuleLibrary, MoveSelection, Objective, Optimizer,
-};
+use etpn_synth::{compile_source, synthesize, ModuleLibrary, MoveSelection, Objective, Optimizer};
 use etpn_transform::Rewriter;
 use etpn_workloads::by_name;
 

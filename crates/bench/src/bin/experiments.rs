@@ -44,8 +44,8 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&tables).expect("tables serialise");
-        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        let doc = etpn_core::json::Json::Arr(tables.iter().map(Table::to_json).collect());
+        std::fs::write(&path, doc.pretty()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path}");
     }
 }

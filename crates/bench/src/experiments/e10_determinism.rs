@@ -65,13 +65,8 @@ pub fn run(scale: Scale) -> Table {
     for w in catalog() {
         let d = etpn_synth::compile_source(&w.source).unwrap();
         let proper = etpn_analysis::check_properly_designed(&d.etpn).is_proper();
-        let report = etpn_sim::check_determinism_with(
-            &d.etpn,
-            &w.env(),
-            seeds,
-            w.max_steps,
-            &d.reg_inits,
-        );
+        let report =
+            etpn_sim::check_determinism_with(&d.etpn, &w.env(), seeds, w.max_steps, &d.reg_inits);
         let (runs, verdict) = match report {
             Ok(r) if r.is_deterministic() => (
                 match &r {

@@ -15,7 +15,11 @@ use etpn_workloads::catalog;
 
 fn oracle_cfg(workload: &str, scale: Scale) -> OracleConfig {
     // GCD diverges on non-positive inputs; keep its random streams positive.
-    let (value_min, value_max) = if workload == "gcd" { (1, 64) } else { (-64, 64) };
+    let (value_min, value_max) = if workload == "gcd" {
+        (1, 64)
+    } else {
+        (-64, 64)
+    };
     OracleConfig {
         environments: scale.n(3, 10) as u32,
         stream_len: 6,
@@ -51,9 +55,7 @@ fn run_family(id: &str, title: &str, family: Family, scale: Scale) -> Table {
         for seed in 0..sequences as u64 {
             let (g2, applied) = random_sequence(&g0, family, seed, scale.n(4, 12));
             moves += applied.len();
-            if family == Family::DataInvariant
-                && !check_data_invariant(&g0, &g2).is_equivalent()
-            {
+            if family == Family::DataInvariant && !check_data_invariant(&g0, &g2).is_equivalent() {
                 struct_fails += 1;
             }
             match semantic_oracle(&g0, &g2, oracle_cfg(w.name, scale)) {

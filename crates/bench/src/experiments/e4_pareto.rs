@@ -17,9 +17,7 @@ pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "E4",
         "area/delay Pareto: MinArea under a latency-cap sweep",
-        &[
-            "workload", "cap", "latency", "area", "units", "merges",
-        ],
+        &["workload", "cap", "latency", "area", "units", "merges"],
     );
     let sweep_points = scale.n(3, 6);
     for name in ["diffeq", "ewf"] {

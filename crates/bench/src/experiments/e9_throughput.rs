@@ -9,7 +9,7 @@
 use crate::table::Table;
 use crate::Scale;
 use etpn_core::Etpn;
-use etpn_sim::{ScriptedEnv, Simulator};
+use etpn_sim::{FiringPolicy, Fleet, ScriptedEnv, SimJob, Simulator};
 use etpn_workloads::{catalog, random_net};
 use std::time::Instant;
 
@@ -87,6 +87,100 @@ pub fn run(scale: Scale) -> Table {
     table
 }
 
+/// The E9b policy battery: one deterministic run plus seeded sweeps of the
+/// two randomized policies for every benchmark design. The sweeps revisit
+/// the same step configurations as the deterministic run almost everywhere
+/// (the policies only reorder firing attempts), which is exactly the
+/// redundancy the fleet's shared memo cache removes.
+fn battery_jobs<'a>(
+    designs: &'a [(etpn_workloads::Workload, etpn_synth::CompiledDesign)],
+    seeds: u64,
+) -> Vec<SimJob<'a>> {
+    let mut jobs = Vec::new();
+    for (w, d) in designs {
+        let mut policies = vec![FiringPolicy::MaximalStep];
+        for seed in 0..seeds {
+            policies.push(FiringPolicy::RandomMaximal { seed });
+            policies.push(FiringPolicy::SingleRandom { seed });
+        }
+        for policy in policies {
+            let mut job = SimJob::new(&d.etpn, w.env())
+                .with_policy(policy)
+                .max_steps(w.max_steps);
+            for (n, v) in &d.reg_inits {
+                job = job.init_register(n, *v);
+            }
+            jobs.push(job);
+        }
+    }
+    jobs
+}
+
+/// Run E9b: the batch-simulation fleet against the sequential loop.
+pub fn run_fleet(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E9b",
+        "batch simulation: fleet + shared cache vs sequential loop",
+        &[
+            "batch",
+            "jobs",
+            "workers",
+            "seq (ms)",
+            "fleet (ms)",
+            "speedup",
+            "cache hit %",
+        ],
+    );
+    let designs: Vec<(etpn_workloads::Workload, etpn_synth::CompiledDesign)> = catalog()
+        .into_iter()
+        .map(|w| {
+            let d = etpn_synth::compile_source(&w.source).unwrap();
+            (w, d)
+        })
+        .collect();
+    // 1 + 2·seeds jobs per design; seeds=4 ⇒ 9 × |catalog| ≥ 64 jobs.
+    let seeds = 4;
+    let repeats = scale.n(1, 5) as u32;
+
+    // Sequential baseline: the plain uncached loop over the same jobs.
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        for job in battery_jobs(&designs, seeds) {
+            job.run_uncached().unwrap();
+        }
+    }
+    let seq = t0.elapsed().as_secs_f64() / f64::from(repeats);
+
+    for workers in [1usize, 8] {
+        let fleet = Fleet::new(workers);
+        let mut n_jobs = 0;
+        let t0 = Instant::now();
+        for _ in 0..repeats {
+            let batch = fleet.run_batch(battery_jobs(&designs, seeds));
+            n_jobs = batch.stats.jobs;
+            for r in &batch.results {
+                r.as_ref().unwrap();
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64() / f64::from(repeats);
+        let stats = fleet.cache().stats();
+        table.row([
+            "policy-battery".to_string(),
+            n_jobs.to_string(),
+            workers.to_string(),
+            format!("{:.1}", seq * 1e3),
+            format!("{:.1}", dt * 1e3),
+            format!("{:.2}x", seq / dt),
+            format!("{:.1}", stats.hit_rate() * 100.0),
+        ]);
+    }
+    table.interpret(
+        "the shared memo cache absorbs the redundancy of policy sweeps; \
+         extra workers add wall-clock parallelism on multi-core hosts",
+    );
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +191,18 @@ mod tests {
         for row in &t.rows {
             let sps: f64 = row[4].parse().unwrap();
             assert!(sps > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e9b_batch_is_big_enough_and_correct() {
+        let t = run_fleet(Scale::Quick);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let jobs: usize = row[1].parse().unwrap();
+            assert!(jobs >= 64, "acceptance requires a ≥64-job batch: {row:?}");
+            let hit: f64 = row[6].parse().unwrap();
+            assert!(hit > 50.0, "policy battery must mostly hit: {row:?}");
         }
     }
 

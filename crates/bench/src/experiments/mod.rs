@@ -3,6 +3,7 @@
 //! Every experiment is a pure function `run(scale) -> Table`, shared by the
 //! `experiments` binary, the Criterion benches, and the harness tests.
 
+pub mod e10_determinism;
 pub mod e1_e2_equivalence;
 pub mod e3_parallelize;
 pub mod e4_pareto;
@@ -11,7 +12,6 @@ pub mod e6_baselines;
 pub mod e7_scaling;
 pub mod e8_ablation;
 pub mod e9_throughput;
-pub mod e10_determinism;
 
 use crate::table::Table;
 
@@ -46,6 +46,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e7_scaling::run(scale),
         e8_ablation::run(scale),
         e9_throughput::run(scale),
+        e9_throughput::run_fleet(scale),
         e10_determinism::run(scale),
     ]
 }
@@ -62,6 +63,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "E7" => e7_scaling::run(scale),
         "E8" => e8_ablation::run(scale),
         "E9" => e9_throughput::run(scale),
+        "E9B" => e9_throughput::run_fleet(scale),
         "E10" => e10_determinism::run(scale),
         _ => return None,
     })

@@ -91,12 +91,7 @@ pub fn control_invariant_moves(g: &Etpn) -> Vec<Transform> {
 ///
 /// Returns the transformed design and the applied sequence (possibly
 /// shorter than `len` when the design runs out of legal moves).
-pub fn random_sequence(
-    g: &Etpn,
-    family: Family,
-    seed: u64,
-    len: usize,
-) -> (Etpn, Vec<Transform>) {
+pub fn random_sequence(g: &Etpn, family: Family, seed: u64, len: usize) -> (Etpn, Vec<Transform>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut current = g.clone();
     let mut applied = Vec::new();

@@ -1,10 +1,10 @@
 //! Result tables: the rows the `experiments` binary prints and
 //! EXPERIMENTS.md records.
 
-use serde::Serialize;
+use etpn_core::json::Json;
 
 /// One experiment's result table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Experiment id (`E1` …).
     pub id: String,
@@ -73,14 +73,27 @@ impl Table {
         out
     }
 
+    /// Encode as a JSON object (for `experiments --json`).
+    pub fn to_json(&self) -> Json {
+        let str_arr =
+            |items: &[String]| Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("headers", str_arr(&self.headers)),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| str_arr(r)).collect()),
+            ),
+            ("interpretation", Json::Str(self.interpretation.clone())),
+        ])
+    }
+
     /// Render as a Markdown table (for EXPERIMENTS.md).
     pub fn render_markdown(&self) -> String {
         let mut out = format!("### {}: {}\n\n", self.id, self.title);
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -120,8 +133,9 @@ mod tests {
     fn serialises_to_json() {
         let mut t = Table::new("E1", "j", &["a"]);
         t.row(["x".into()]);
-        let j = serde_json::to_value(&t).unwrap();
-        assert_eq!(j["id"], "E1");
-        assert_eq!(j["rows"][0][0], "x");
+        let j = t.to_json();
+        assert_eq!(j.get("id").unwrap().as_str().unwrap(), "E1");
+        let rows = j.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].as_arr().unwrap()[0].as_str().unwrap(), "x");
     }
 }

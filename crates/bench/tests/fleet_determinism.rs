@@ -1,0 +1,76 @@
+//! Tier-1 jobs-invariance test: for every catalog workload, a fleet batch
+//! at 1, 4 and 8 workers yields byte-identical trace and event-structure
+//! output to the plain sequential [`Simulator`]. This extends the E10
+//! policy-invariance story to thread count — worker count and work-stealing
+//! order must be unobservable in the results.
+
+use etpn_sim::{event_structure, FiringPolicy, Fleet, SimJob, Simulator};
+use etpn_workloads::catalog;
+
+/// The policy battery run for each workload: the deterministic policy plus
+/// seeded sweeps of both randomized policies. Randomized policies draw from
+/// per-job RNGs, so their traces too must be independent of scheduling.
+fn policies() -> Vec<FiringPolicy> {
+    let mut ps = vec![FiringPolicy::MaximalStep];
+    for seed in 0..2 {
+        ps.push(FiringPolicy::RandomMaximal { seed });
+        ps.push(FiringPolicy::SingleRandom { seed });
+    }
+    ps
+}
+
+#[test]
+fn fleet_matches_sequential_simulator_for_every_workload() {
+    for w in catalog() {
+        let d = etpn_synth::compile_source(&w.source).unwrap();
+
+        // Sequential reference: one Simulator run per policy, in order.
+        // Traces don't implement PartialEq; their Debug form is a complete
+        // rendering, so byte-comparing it is the strictest check available.
+        let mut expected = Vec::new();
+        for &policy in &policies() {
+            let mut sim = Simulator::new(&d.etpn, w.env()).with_policy(policy);
+            for (n, v) in &d.reg_inits {
+                sim = sim.init_register(n, *v);
+            }
+            let trace = sim.run(w.max_steps).unwrap();
+            let structure = event_structure(&d.etpn, &trace);
+            expected.push((format!("{trace:?}"), format!("{structure:?}")));
+        }
+
+        for workers in [1usize, 4, 8] {
+            let jobs: Vec<SimJob> = policies()
+                .iter()
+                .map(|&policy| {
+                    let mut job = SimJob::new(&d.etpn, w.env())
+                        .with_policy(policy)
+                        .max_steps(w.max_steps);
+                    for (n, v) in &d.reg_inits {
+                        job = job.init_register(n, *v);
+                    }
+                    job
+                })
+                .collect();
+            let batch = Fleet::new(workers).run_batch(jobs);
+            assert_eq!(batch.results.len(), expected.len());
+            for (i, (result, (exp_trace, exp_structure))) in
+                batch.results.iter().zip(&expected).enumerate()
+            {
+                let trace = result.as_ref().unwrap();
+                let structure = event_structure(&d.etpn, trace);
+                assert_eq!(
+                    format!("{trace:?}"),
+                    *exp_trace,
+                    "{}: job {i} at {workers} workers diverged from sequential",
+                    w.name
+                );
+                assert_eq!(
+                    format!("{structure:?}"),
+                    *exp_structure,
+                    "{}: job {i} event structure at {workers} workers",
+                    w.name
+                );
+            }
+        }
+    }
+}

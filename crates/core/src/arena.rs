@@ -9,16 +9,13 @@ use std::marker::PhantomData;
 
 /// A growable arena of `T` indexed by the id type `I`.
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TypedVec<I: Id, T> {
     items: Vec<Slot<T>>,
     live: usize,
-    #[cfg_attr(feature = "serde", serde(skip))]
     _marker: PhantomData<fn(I)>,
 }
 
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 enum Slot<T> {
     Live(T),
     Dead,
@@ -147,6 +144,26 @@ impl<I: Id, T> TypedVec<I, T> {
     /// Iterate over live values in id order.
     pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
         self.items.iter().filter_map(Slot::as_ref)
+    }
+
+    /// Iterate over *all* slots in id order, dead ones as `None`.
+    ///
+    /// Persistence layers use this to serialise tombstones so ids stay
+    /// stable across a save/load round-trip.
+    pub fn slots(&self) -> impl Iterator<Item = Option<&T>> + '_ {
+        self.items.iter().map(Slot::as_ref)
+    }
+
+    /// Append a slot verbatim: `Some` becomes a live entry, `None` a
+    /// tombstone. The inverse of [`TypedVec::slots`].
+    pub fn push_slot(&mut self, value: Option<T>) {
+        match value {
+            Some(t) => {
+                self.items.push(Slot::Live(t));
+                self.live += 1;
+            }
+            None => self.items.push(Slot::Dead),
+        }
     }
 }
 

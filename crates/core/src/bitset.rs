@@ -7,7 +7,6 @@
 
 /// A fixed-capacity set of small integers backed by `u64` words.
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitSet {
     words: Vec<u64>,
     bits: usize,
@@ -26,6 +25,17 @@ impl BitSet {
     #[inline]
     pub fn capacity(&self) -> usize {
         self.bits
+    }
+
+    /// A process-independent 64-bit hash of the set's contents and
+    /// capacity (see [`crate::hash::StableHasher`]).
+    pub fn stable_hash64(&self) -> u64 {
+        let mut h = crate::hash::StableHasher::new();
+        h.write_usize(self.bits);
+        for &w in &self.words {
+            h.write_u64(w);
+        }
+        h.finish()
     }
 
     /// Insert `i`; returns whether the bit was newly set.
@@ -90,10 +100,7 @@ impl BitSet {
 
     /// True when `self ∩ other ≠ ∅`.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Iterate over members in increasing order.
@@ -134,7 +141,6 @@ impl FromIterator<usize> for BitSet {
 
 /// A square boolean matrix over `n` elements, one [`BitSet`] row per element.
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitMatrix {
     n: usize,
     rows: Vec<u64>,

@@ -14,7 +14,6 @@ use crate::ids::{ArcId, PlaceId, PortId, TransId};
 
 /// An `S`-element: a control state (place).
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Place {
     /// Human-readable name.
     pub name: String,
@@ -31,7 +30,6 @@ pub struct Place {
 
 /// A `T`-element: a transition.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Transition {
     /// Human-readable name.
     pub name: String,
@@ -46,7 +44,6 @@ pub struct Transition {
 
 /// The control structure `(S, T, F, C, G, M0)`.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Control {
     places: TypedVec<PlaceId, Place>,
     transitions: TypedVec<TransId, Transition>,
@@ -101,6 +98,18 @@ impl Control {
         self.places[s].pre.push(t);
         self.transitions[t].post.push(s);
         Ok(())
+    }
+
+    /// Reassemble a control structure from raw arenas (the persistence
+    /// layer's decoder); the caller validates afterwards.
+    pub(crate) fn from_raw(
+        places: TypedVec<PlaceId, Place>,
+        transitions: TypedVec<TransId, Transition>,
+    ) -> Self {
+        Self {
+            places,
+            transitions,
+        }
     }
 
     /// Guard transition `t` with output port `p` (extends `G(p)` by `t`).

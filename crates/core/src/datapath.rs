@@ -15,7 +15,6 @@ use crate::vertex::{Vertex, VertexKind};
 
 /// A data-path arc `(O, I) ∈ A ⊆ O × I`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DpArc {
     /// Source output port.
     pub from: PortId,
@@ -25,7 +24,6 @@ pub struct DpArc {
 
 /// The data path: vertices, ports, arcs, and the operation mapping.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataPath {
     vertices: TypedVec<VertexId, Vertex>,
     ports: TypedVec<PortId, Port>,
@@ -137,6 +135,30 @@ impl DataPath {
             self.vertices[v].outputs.push(p);
         }
         Ok(v)
+    }
+
+    /// Reassemble a data path from raw arenas and adjacency lists (the
+    /// persistence layer's decoder). The caller is expected to run
+    /// [`DataPath::validate`] afterwards; this only checks the shape.
+    pub(crate) fn from_raw(
+        vertices: TypedVec<VertexId, Vertex>,
+        ports: TypedVec<PortId, Port>,
+        arcs: TypedVec<ArcId, DpArc>,
+        incoming: Vec<Vec<ArcId>>,
+        outgoing: Vec<Vec<ArcId>>,
+    ) -> CoreResult<Self> {
+        if incoming.len() != ports.capacity_bound() || outgoing.len() != ports.capacity_bound() {
+            return Err(CoreError::Invalid(
+                "adjacency lists do not match the port arena".into(),
+            ));
+        }
+        Ok(Self {
+            vertices,
+            ports,
+            arcs,
+            incoming,
+            outgoing,
+        })
     }
 
     fn grow_adj(&mut self, p: PortId) {
@@ -337,15 +359,11 @@ impl DataPath {
         va.kind == vb.kind
             && va.inputs.len() == vb.inputs.len()
             && va.outputs.len() == vb.outputs.len()
-            && va
-                .outputs
-                .iter()
-                .zip(&vb.outputs)
-                .all(|(&pa, &pb)| {
-                    self.ports[pa]
-                        .operation()
-                        .same_definition(self.ports[pb].operation())
-                })
+            && va.outputs.iter().zip(&vb.outputs).all(|(&pa, &pb)| {
+                self.ports[pa]
+                    .operation()
+                    .same_definition(self.ports[pb].operation())
+            })
     }
 
     /// Structural sanity check: adjacency lists consistent with arc arena,
@@ -413,9 +431,7 @@ mod tests {
     #[test]
     fn build_and_connect() {
         let (mut dp, add, reg) = adder_reg();
-        let a = dp
-            .connect(dp.out_port(add, 0), dp.in_port(reg, 0))
-            .unwrap();
+        let a = dp.connect(dp.out_port(add, 0), dp.in_port(reg, 0)).unwrap();
         assert_eq!(dp.arc(a).from, dp.out_port(add, 0));
         assert_eq!(dp.incoming_arcs(dp.in_port(reg, 0)), &[a]);
         assert_eq!(dp.outgoing_arcs(dp.out_port(add, 0)), &[a]);
@@ -450,9 +466,7 @@ mod tests {
     #[test]
     fn internal_arc_is_not_external() {
         let (mut dp, add, reg) = adder_reg();
-        let a = dp
-            .connect(dp.out_port(add, 0), dp.in_port(reg, 0))
-            .unwrap();
+        let a = dp.connect(dp.out_port(add, 0), dp.in_port(reg, 0)).unwrap();
         assert!(!dp.is_external_arc(a));
     }
 

@@ -8,7 +8,6 @@ use crate::ids::{ArcId, PlaceId, VertexId};
 
 /// A data/control flow system: the data path plus its Petri-net control.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Etpn {
     /// The data path `D = (V, I, O, A, B)`.
     pub dp: DataPath,
@@ -20,6 +19,104 @@ impl Etpn {
     /// Assemble a system from its two sub-models.
     pub fn new(dp: DataPath, ctl: Control) -> Self {
         Self { dp, ctl }
+    }
+
+    /// A process-independent 64-bit structural fingerprint of the whole
+    /// system: every arena slot (dead slots included, so ids bind), the
+    /// operation mapping, the flow relation, control sets, guards, and the
+    /// initial marking. Two systems with equal fingerprints evaluate
+    /// identically step for step; the batch-simulation memo cache keys on
+    /// it. Cost is one pass over the design — compute it once per batch,
+    /// not per step.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::hash::StableHasher;
+        let mut h = StableHasher::new();
+        for slot in self.dp.vertices().slots() {
+            match slot {
+                None => h.write_u64(u64::MAX),
+                Some(v) => {
+                    h.write_str(&v.name);
+                    h.write_u32(match v.kind {
+                        crate::vertex::VertexKind::Unit => 0,
+                        crate::vertex::VertexKind::Input => 1,
+                        crate::vertex::VertexKind::Output => 2,
+                    });
+                    h.write_usize(v.inputs.len());
+                    for p in &v.inputs {
+                        h.write_u32(p.0);
+                    }
+                    h.write_usize(v.outputs.len());
+                    for p in &v.outputs {
+                        h.write_u32(p.0);
+                    }
+                }
+            }
+        }
+        for slot in self.dp.ports().slots() {
+            match slot {
+                None => h.write_u64(u64::MAX),
+                Some(p) => {
+                    h.write_u32(p.vertex.0);
+                    h.write_bool(p.is_output());
+                    h.write_u32(p.index as u32);
+                    match p.op {
+                        None => h.write_u64(u64::MAX - 1),
+                        Some(op) => h.write_str(&format!("{op:?}")),
+                    }
+                }
+            }
+        }
+        for slot in self.dp.arcs().slots() {
+            match slot {
+                None => h.write_u64(u64::MAX),
+                Some(a) => {
+                    h.write_u32(a.from.0);
+                    h.write_u32(a.to.0);
+                }
+            }
+        }
+        for slot in self.ctl.places().slots() {
+            match slot {
+                None => h.write_u64(u64::MAX),
+                Some(s) => {
+                    h.write_str(&s.name);
+                    h.write_bool(s.marked0);
+                    h.write_usize(s.ctrl.len());
+                    for a in &s.ctrl {
+                        h.write_u32(a.0);
+                    }
+                    h.write_usize(s.pre.len());
+                    for t in &s.pre {
+                        h.write_u32(t.0);
+                    }
+                    h.write_usize(s.post.len());
+                    for t in &s.post {
+                        h.write_u32(t.0);
+                    }
+                }
+            }
+        }
+        for slot in self.ctl.transitions().slots() {
+            match slot {
+                None => h.write_u64(u64::MAX),
+                Some(t) => {
+                    h.write_str(&t.name);
+                    h.write_usize(t.pre.len());
+                    for s in &t.pre {
+                        h.write_u32(s.0);
+                    }
+                    h.write_usize(t.post.len());
+                    for s in &t.post {
+                        h.write_u32(s.0);
+                    }
+                    h.write_usize(t.guards.len());
+                    for p in &t.guards {
+                        h.write_u32(p.0);
+                    }
+                }
+            }
+        }
+        h.finish()
     }
 
     /// The arcs active under control state `s` — the arc part of `ASS(S)`

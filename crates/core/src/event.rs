@@ -16,7 +16,6 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// One observed external event instance.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExternalEvent {
     /// The external arc on which the event occurred.
     pub arc: ArcId,
@@ -30,7 +29,6 @@ pub struct ExternalEvent {
 
 /// Canonical identity of an event across runs: the `k`-th event on arc `a`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventKey {
     /// The external arc.
     pub arc: ArcId,
@@ -44,7 +42,6 @@ pub struct EventKey {
 /// value sequences), the precedent relations, and the concurrent relations
 /// all coincide — the semantic equivalence of Def. 4.1.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventStructure {
     /// `E`, organised as the value sequence observed on each external arc.
     pub events: BTreeMap<ArcId, Vec<Value>>,
@@ -108,10 +105,7 @@ impl EventStructure {
     /// True when the two events are in neither `≺` nor `≍` — the *casual*
     /// (free) relation of the paper: they may occur in any order.
     pub fn casual(&self, a: EventKey, b: EventKey) -> bool {
-        a != b
-            && !self.precedes(a, b)
-            && !self.precedes(b, a)
-            && !self.concurrent_with(a, b)
+        a != b && !self.precedes(a, b) && !self.precedes(b, a) && !self.concurrent_with(a, b)
     }
 
     /// Human-readable explanation of the first difference from `other`,

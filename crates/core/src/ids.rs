@@ -17,8 +17,6 @@ macro_rules! define_id {
     ($(#[$meta:meta])* $name:ident, $tag:literal) => {
         $(#[$meta])*
         #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-        #[cfg_attr(feature = "serde", serde(transparent))]
         pub struct $name(pub u32);
 
         impl $name {

@@ -3,21 +3,29 @@
 //! Designs round-trip losslessly — every arena slot (including tombstones,
 //! so ids stay stable), the control mapping, guards, and the initial
 //! marking. Useful for checkpointing synthesis runs and for shipping the
-//! benchmark designs as artefacts.
+//! benchmark designs as artefacts. The encoding is hand-rolled on
+//! [`crate::json`] so the core crate carries no external dependencies.
 
+use crate::arena::TypedVec;
+use crate::control::{Control, Place, Transition};
+use crate::datapath::{DataPath, DpArc};
 use crate::error::{CoreError, CoreResult};
 use crate::etpn::Etpn;
+use crate::ids::{ArcId, PlaceId, PortId, TransId, VertexId};
+use crate::json::{num_arr, parse, Json};
+use crate::op::Op;
+use crate::port::{Dir, Port};
+use crate::vertex::{Vertex, VertexKind};
 
 /// Serialise a design to pretty JSON.
 pub fn to_json(g: &Etpn) -> CoreResult<String> {
-    serde_json::to_string_pretty(g)
-        .map_err(|e| CoreError::Invalid(format!("serialising design: {e}")))
+    Ok(encode(g).pretty())
 }
 
 /// Deserialise a design from JSON and validate it structurally.
 pub fn from_json(json: &str) -> CoreResult<Etpn> {
-    let g: Etpn = serde_json::from_str(json)
-        .map_err(|e| CoreError::Invalid(format!("parsing design JSON: {e}")))?;
+    let doc = parse(json).map_err(|e| CoreError::Invalid(format!("parsing design JSON: {e}")))?;
+    let g = decode(&doc)?;
     g.validate()?;
     Ok(g)
 }
@@ -33,6 +41,281 @@ pub fn load(path: &str) -> CoreResult<Etpn> {
     let json = std::fs::read_to_string(path)
         .map_err(|e| CoreError::Invalid(format!("reading {path}: {e}")))?;
     from_json(&json)
+}
+
+// ----------------------------------------------------------------------
+// Encoding
+// ----------------------------------------------------------------------
+
+fn encode(g: &Etpn) -> Json {
+    Json::obj([
+        ("format", Json::Str("etpn-v1".into())),
+        (
+            "dp",
+            Json::obj([
+                ("vertices", slot_arr(g.dp.vertices().slots(), encode_vertex)),
+                ("ports", slot_arr(g.dp.ports().slots(), encode_port)),
+                ("arcs", slot_arr(g.dp.arcs().slots(), encode_arc)),
+                ("incoming", adjacency(g, |p| g.dp.incoming_arcs(p))),
+                ("outgoing", adjacency(g, |p| g.dp.outgoing_arcs(p))),
+            ]),
+        ),
+        (
+            "ctl",
+            Json::obj([
+                ("places", slot_arr(g.ctl.places().slots(), encode_place)),
+                (
+                    "transitions",
+                    slot_arr(g.ctl.transitions().slots(), encode_transition),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn slot_arr<'a, T: 'a>(slots: impl Iterator<Item = Option<&'a T>>, f: impl Fn(&T) -> Json) -> Json {
+    Json::Arr(slots.map(|s| s.map(&f).unwrap_or(Json::Null)).collect())
+}
+
+/// Adjacency lists for every port *slot* (dead slots keep empty lists), so
+/// re-pointed arcs restore in exactly the order `PartialEq` compares.
+fn adjacency<'g>(g: &'g Etpn, arcs_of: impl Fn(PortId) -> &'g [ArcId]) -> Json {
+    Json::Arr(
+        (0..g.dp.ports().capacity_bound())
+            .map(|i| {
+                let p = PortId::new(i as u32);
+                if g.dp.ports().contains(p) {
+                    num_arr(arcs_of(p).iter().map(|a| a.0 as i64))
+                } else {
+                    num_arr([])
+                }
+            })
+            .collect(),
+    )
+}
+
+fn encode_vertex(v: &Vertex) -> Json {
+    let kind = match v.kind {
+        VertexKind::Unit => "unit",
+        VertexKind::Input => "input",
+        VertexKind::Output => "output",
+    };
+    Json::obj([
+        ("name", Json::Str(v.name.clone())),
+        ("kind", Json::Str(kind.into())),
+        ("inputs", num_arr(v.inputs.iter().map(|p| p.0 as i64))),
+        ("outputs", num_arr(v.outputs.iter().map(|p| p.0 as i64))),
+    ])
+}
+
+fn encode_port(p: &Port) -> Json {
+    Json::obj([
+        ("vertex", Json::Num(p.vertex.0 as i64)),
+        (
+            "dir",
+            Json::Str(if p.dir == Dir::In { "in" } else { "out" }.into()),
+        ),
+        ("index", Json::Num(p.index as i64)),
+        ("op", p.op.map(encode_op).unwrap_or(Json::Null)),
+    ])
+}
+
+fn encode_op(op: Op) -> Json {
+    match op {
+        Op::Const(v) => Json::obj([("const", Json::Num(v))]),
+        other => Json::Str(format!("{other:?}").to_lowercase()),
+    }
+}
+
+fn encode_arc(a: &DpArc) -> Json {
+    Json::obj([
+        ("from", Json::Num(a.from.0 as i64)),
+        ("to", Json::Num(a.to.0 as i64)),
+    ])
+}
+
+fn encode_place(s: &Place) -> Json {
+    Json::obj([
+        ("name", Json::Str(s.name.clone())),
+        ("ctrl", num_arr(s.ctrl.iter().map(|a| a.0 as i64))),
+        ("marked0", Json::Bool(s.marked0)),
+        ("pre", num_arr(s.pre.iter().map(|t| t.0 as i64))),
+        ("post", num_arr(s.post.iter().map(|t| t.0 as i64))),
+    ])
+}
+
+fn encode_transition(t: &Transition) -> Json {
+    Json::obj([
+        ("name", Json::Str(t.name.clone())),
+        ("pre", num_arr(t.pre.iter().map(|s| s.0 as i64))),
+        ("post", num_arr(t.post.iter().map(|s| s.0 as i64))),
+        ("guards", num_arr(t.guards.iter().map(|p| p.0 as i64))),
+    ])
+}
+
+// ----------------------------------------------------------------------
+// Decoding
+// ----------------------------------------------------------------------
+
+fn decode(doc: &Json) -> CoreResult<Etpn> {
+    let dp = doc.req("dp")?;
+    let ctl = doc.req("ctl")?;
+
+    let vertices = decode_slots(dp.req("vertices")?, decode_vertex)?;
+    let ports = decode_slots(dp.req("ports")?, decode_port)?;
+    let arcs = decode_slots(dp.req("arcs")?, decode_arc)?;
+    let incoming = decode_adjacency(dp.req("incoming")?)?;
+    let outgoing = decode_adjacency(dp.req("outgoing")?)?;
+    let dp = DataPath::from_raw(vertices, ports, arcs, incoming, outgoing)?;
+
+    let places = decode_slots(ctl.req("places")?, decode_place)?;
+    let transitions = decode_slots(ctl.req("transitions")?, decode_transition)?;
+    let ctl = Control::from_raw(places, transitions);
+
+    Ok(Etpn::new(dp, ctl))
+}
+
+fn decode_slots<I: crate::ids::Id, T>(
+    arr: &Json,
+    f: impl Fn(&Json) -> CoreResult<T>,
+) -> CoreResult<TypedVec<I, T>> {
+    let mut out = TypedVec::new();
+    for item in arr.as_arr()? {
+        if item.is_null() {
+            out.push_slot(None);
+        } else {
+            out.push_slot(Some(f(item)?));
+        }
+    }
+    Ok(out)
+}
+
+fn decode_adjacency(arr: &Json) -> CoreResult<Vec<Vec<ArcId>>> {
+    arr.as_arr()?
+        .iter()
+        .map(|lists| {
+            lists
+                .as_arr()?
+                .iter()
+                .map(|a| Ok(ArcId::new(a.as_index()? as u32)))
+                .collect()
+        })
+        .collect()
+}
+
+fn id_list<I>(arr: &Json, mk: impl Fn(u32) -> I) -> CoreResult<Vec<I>> {
+    arr.as_arr()?
+        .iter()
+        .map(|v| Ok(mk(v.as_index()? as u32)))
+        .collect()
+}
+
+fn decode_vertex(j: &Json) -> CoreResult<Vertex> {
+    let kind = match j.req("kind")?.as_str()? {
+        "unit" => VertexKind::Unit,
+        "input" => VertexKind::Input,
+        "output" => VertexKind::Output,
+        other => {
+            return Err(CoreError::Invalid(format!(
+                "design JSON: unknown vertex kind `{other}`"
+            )))
+        }
+    };
+    Ok(Vertex {
+        name: j.req("name")?.as_str()?.to_string(),
+        kind,
+        inputs: id_list(j.req("inputs")?, PortId::new)?,
+        outputs: id_list(j.req("outputs")?, PortId::new)?,
+    })
+}
+
+fn decode_port(j: &Json) -> CoreResult<Port> {
+    let dir = match j.req("dir")?.as_str()? {
+        "in" => Dir::In,
+        "out" => Dir::Out,
+        other => {
+            return Err(CoreError::Invalid(format!(
+                "design JSON: unknown port dir `{other}`"
+            )))
+        }
+    };
+    let op = j.req("op")?;
+    Ok(Port {
+        vertex: VertexId::new(j.req("vertex")?.as_index()? as u32),
+        dir,
+        index: j.req("index")?.as_index()? as u16,
+        op: if op.is_null() {
+            None
+        } else {
+            Some(decode_op(op)?)
+        },
+    })
+}
+
+fn decode_op(j: &Json) -> CoreResult<Op> {
+    if let Some(v) = j.get("const") {
+        return Ok(Op::Const(v.as_i64()?));
+    }
+    let name = j.as_str()?;
+    let op = match name {
+        "add" => Op::Add,
+        "sub" => Op::Sub,
+        "mul" => Op::Mul,
+        "div" => Op::Div,
+        "rem" => Op::Rem,
+        "neg" => Op::Neg,
+        "abs" => Op::Abs,
+        "min" => Op::Min,
+        "max" => Op::Max,
+        "and" => Op::And,
+        "or" => Op::Or,
+        "xor" => Op::Xor,
+        "not" => Op::Not,
+        "shl" => Op::Shl,
+        "shr" => Op::Shr,
+        "eq" => Op::Eq,
+        "ne" => Op::Ne,
+        "lt" => Op::Lt,
+        "le" => Op::Le,
+        "gt" => Op::Gt,
+        "ge" => Op::Ge,
+        "mux" => Op::Mux,
+        "pass" => Op::Pass,
+        "reg" => Op::Reg,
+        "input" => Op::Input,
+        other => {
+            return Err(CoreError::Invalid(format!(
+                "design JSON: unknown op `{other}`"
+            )))
+        }
+    };
+    Ok(op)
+}
+
+fn decode_arc(j: &Json) -> CoreResult<DpArc> {
+    Ok(DpArc {
+        from: PortId::new(j.req("from")?.as_index()? as u32),
+        to: PortId::new(j.req("to")?.as_index()? as u32),
+    })
+}
+
+fn decode_place(j: &Json) -> CoreResult<Place> {
+    Ok(Place {
+        name: j.req("name")?.as_str()?.to_string(),
+        ctrl: id_list(j.req("ctrl")?, ArcId::new)?,
+        marked0: j.req("marked0")?.as_bool()?,
+        pre: id_list(j.req("pre")?, TransId::new)?,
+        post: id_list(j.req("post")?, TransId::new)?,
+    })
+}
+
+fn decode_transition(j: &Json) -> CoreResult<Transition> {
+    Ok(Transition {
+        name: j.req("name")?.as_str()?.to_string(),
+        pre: id_list(j.req("pre")?, PlaceId::new)?,
+        post: id_list(j.req("post")?, PlaceId::new)?,
+        guards: id_list(j.req("guards")?, PortId::new)?,
+    })
 }
 
 #[cfg(test)]

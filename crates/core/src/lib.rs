@@ -39,9 +39,10 @@ pub mod dot;
 pub mod error;
 pub mod etpn;
 pub mod event;
+pub mod hash;
 pub mod ids;
-#[cfg(feature = "serde")]
 pub mod io;
+pub mod json;
 pub mod marking;
 pub mod op;
 pub mod port;
@@ -55,6 +56,7 @@ pub use datapath::DataPath;
 pub use error::{CoreError, CoreResult};
 pub use etpn::Etpn;
 pub use event::{EventKey, EventStructure, ExternalEvent};
+pub use hash::StableHasher;
 pub use ids::{ArcId, PlaceId, PortId, TransId, VertexId};
 pub use marking::Marking;
 pub use op::Op;

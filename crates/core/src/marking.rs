@@ -12,7 +12,6 @@ use crate::ids::{PlaceId, TransId};
 
 /// A token assignment `M : S → ℕ`, indexed densely by raw place id.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Marking {
     tokens: Vec<u32>,
 }
@@ -34,6 +33,17 @@ impl Marking {
             }
         }
         m
+    }
+
+    /// A process-independent 64-bit hash of the token assignment (see
+    /// [`crate::hash::StableHasher`]). Memo-cache keys depend on it.
+    pub fn stable_hash64(&self) -> u64 {
+        let mut h = crate::hash::StableHasher::new();
+        h.write_usize(self.tokens.len());
+        for &t in &self.tokens {
+            h.write_u32(t);
+        }
+        h.finish()
     }
 
     /// `M(s)` — the token count of a place.

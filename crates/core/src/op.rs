@@ -11,7 +11,6 @@ use crate::value::Value;
 
 /// An operation attachable to an output port.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Op {
     // --- combinatorial (COM) arithmetic ---
     /// Wrapping addition of the two inputs.
@@ -260,15 +259,9 @@ mod tests {
 
     #[test]
     fn wrapping_overflow() {
-        assert_eq!(
-            Op::Add.eval(&[Def(i64::MAX), Def(1)]),
-            Some(Def(i64::MIN))
-        );
+        assert_eq!(Op::Add.eval(&[Def(i64::MAX), Def(1)]), Some(Def(i64::MIN)));
         assert_eq!(Op::Neg.eval(&[Def(i64::MIN)]), Some(Def(i64::MIN)));
-        assert_eq!(
-            Op::Div.eval(&[Def(i64::MIN), Def(-1)]),
-            Some(Def(i64::MIN))
-        );
+        assert_eq!(Op::Div.eval(&[Def(i64::MIN), Def(-1)]), Some(Def(i64::MIN)));
     }
 
     #[test]

@@ -10,7 +10,6 @@ use crate::op::Op;
 
 /// Port direction: member of `I` or of `O`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Dir {
     /// An input port (element of `I`).
     In,
@@ -20,7 +19,6 @@ pub enum Dir {
 
 /// A single port of a data-path vertex.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Port {
     /// Owning vertex.
     pub vertex: VertexId,

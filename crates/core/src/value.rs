@@ -10,7 +10,6 @@
 
 /// A data value: a defined 64-bit integer or the undefined element `⊥`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// A defined integer value.
     Def(i64),
@@ -109,8 +108,14 @@ mod tests {
 
     #[test]
     fn undef_propagates() {
-        assert_eq!(Value::Undef.lift2(Value::Def(1), |a, b| a + b), Value::Undef);
-        assert_eq!(Value::Def(1).lift2(Value::Undef, |a, b| a + b), Value::Undef);
+        assert_eq!(
+            Value::Undef.lift2(Value::Def(1), |a, b| a + b),
+            Value::Undef
+        );
+        assert_eq!(
+            Value::Def(1).lift2(Value::Undef, |a, b| a + b),
+            Value::Undef
+        );
         assert_eq!(Value::Undef.lift1(|a| -a), Value::Undef);
     }
 

@@ -9,7 +9,6 @@ use crate::ids::PortId;
 
 /// Classification of a vertex with respect to the environment boundary.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum VertexKind {
     /// An internal data-manipulation unit (operator, register, channel…).
     Unit,
@@ -23,7 +22,6 @@ pub enum VertexKind {
 
 /// A data-path vertex together with its port lists.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vertex {
     /// Human-readable name (unique names are recommended but not enforced).
     pub name: String,

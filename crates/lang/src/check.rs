@@ -183,10 +183,7 @@ mod tests {
 
     #[test]
     fn par_write_conflict_rejected() {
-        let e = check_src(
-            "design t { reg r; par { { r = 1; } { r = 2; } } }",
-        )
-        .unwrap_err();
+        let e = check_src("design t { reg r; par { { r = 1; } { r = 2; } } }").unwrap_err();
         assert!(e.to_string().contains("both write"));
     }
 

@@ -151,8 +151,7 @@ fn lex_number(s: &str) -> Result<(i64, usize), String> {
         if end == 2 {
             return Err("hex literal needs digits".into());
         }
-        let v = i64::from_str_radix(&s[2..end], 16)
-            .map_err(|e| format!("bad hex literal: {e}"))?;
+        let v = i64::from_str_radix(&s[2..end], 16).map_err(|e| format!("bad hex literal: {e}"))?;
         Ok((v, end))
     } else {
         let mut end = 0;

@@ -5,12 +5,17 @@
 //! seed must yield the same external event structure. This module runs a
 //! battery of policies over one design/environment and reports the first
 //! divergence, if any — experiment E10's engine.
+//!
+//! The battery executes as one [`Fleet`] batch: all runs share a memo
+//! cache, and since the policies only reshuffle firing order over the same
+//! design/environment, most of their data-path evaluations coincide and
+//! are computed once.
 
-use crate::engine::Simulator;
 use crate::env::Environment;
 use crate::equiv::compare_structures;
 use crate::error::SimError;
 use crate::extract::event_structure_with;
+use crate::fleet::{Fleet, SimJob};
 use crate::policy::FiringPolicy;
 use etpn_core::{ControlRelations, Etpn, EventStructure};
 
@@ -49,7 +54,7 @@ pub fn check_determinism<E>(
     max_steps: u64,
 ) -> Result<DeterminismReport, SimError>
 where
-    E: Environment + Clone,
+    E: Environment + Clone + Send,
 {
     check_determinism_with(g, env, seeds, max_steps, &[])
 }
@@ -64,32 +69,41 @@ pub fn check_determinism_with<E>(
     reg_inits: &[(String, i64)],
 ) -> Result<DeterminismReport, SimError>
 where
-    E: Environment + Clone,
+    E: Environment + Clone + Send,
 {
     let rel = ControlRelations::compute(&g.ctl);
-    let mut sim = Simulator::new(g, env.clone());
-    for (name, v) in reg_inits {
-        sim = sim.init_register(name, *v);
+    let mut policies = vec![FiringPolicy::MaximalStep];
+    for seed in 0..seeds {
+        policies.push(FiringPolicy::RandomMaximal { seed });
+        policies.push(FiringPolicy::SingleRandom { seed });
     }
-    let reference = sim.run(max_steps)?;
+    let jobs: Vec<SimJob<E>> = policies
+        .iter()
+        .map(|&policy| {
+            let mut job = SimJob::new(g, env.clone())
+                .with_policy(policy)
+                .max_steps(max_steps);
+            for (name, v) in reg_inits {
+                job = job.init_register(name, *v);
+            }
+            job
+        })
+        .collect();
+    let batch = Fleet::new(0).run_batch(jobs);
+
+    let mut results = batch.results.into_iter();
+    let reference = results
+        .next()
+        .expect("battery contains the reference run")?;
     let ref_structure = event_structure_with(&rel, &reference);
     let mut runs = 1usize;
-    for seed in 0..seeds {
-        for policy in [
-            FiringPolicy::RandomMaximal { seed },
-            FiringPolicy::SingleRandom { seed },
-        ] {
-            let mut sim = Simulator::new(g, env.clone()).with_policy(policy);
-            for (name, v) in reg_inits {
-                sim = sim.init_register(name, *v);
-            }
-            let trace = sim.run(max_steps)?;
-            let structure = event_structure_with(&rel, &trace);
-            runs += 1;
-            let verdict = compare_structures(&ref_structure, &structure);
-            if let crate::equiv::EquivalenceVerdict::Different(difference) = verdict {
-                return Ok(DeterminismReport::Divergent { policy, difference });
-            }
+    for (&policy, result) in policies[1..].iter().zip(results) {
+        let trace = result?;
+        let structure = event_structure_with(&rel, &trace);
+        runs += 1;
+        let verdict = compare_structures(&ref_structure, &structure);
+        if let crate::equiv::EquivalenceVerdict::Different(difference) = verdict {
+            return Ok(DeterminismReport::Divergent { policy, difference });
         }
     }
     Ok(DeterminismReport::Deterministic {
@@ -151,7 +165,9 @@ mod tests {
     #[test]
     fn proper_design_is_deterministic() {
         let g = proper_parallel();
-        let env = ScriptedEnv::new().with_stream("x", [3]).with_stream("y", [4]);
+        let env = ScriptedEnv::new()
+            .with_stream("x", [3])
+            .with_stream("y", [4]);
         let report = check_determinism(&g, &env, 6, 100).unwrap();
         assert!(report.is_deterministic(), "{report:?}");
         if let DeterminismReport::Deterministic { runs, structure } = report {

@@ -28,10 +28,20 @@
 use crate::env::{Environment, InputCursors};
 use crate::error::SimError;
 use crate::eval::{DpState, Evaluator, StepValues};
+use crate::fleet::{EvalCache, StepKey};
 use crate::policy::FiringPolicy;
 use crate::trace::{Termination, Trace};
 use etpn_core::{Etpn, ExternalEvent, Marking, Op, PlaceId, PortId, TransId, Value};
 use rand::rngs::SmallRng;
+use std::sync::Arc;
+
+/// Binding of a simulator to a shared memo cache: the per-run-constant
+/// key components, computed once.
+struct CacheHandle {
+    cache: Arc<EvalCache>,
+    design_fp: u64,
+    env_fp: u64,
+}
 
 /// A configured simulation run over one design.
 pub struct Simulator<'g, E: Environment> {
@@ -43,6 +53,7 @@ pub struct Simulator<'g, E: Environment> {
     cursors: InputCursors,
     evaluator: Evaluator,
     marking: Marking,
+    cache: Option<CacheHandle>,
     rng: Option<SmallRng>,
     step: u64,
     firings: u64,
@@ -66,6 +77,7 @@ impl<'g, E: Environment> Simulator<'g, E> {
             cursors: InputCursors::new(g),
             evaluator: Evaluator::new(g),
             marking: Marking::initial(&g.ctl),
+            cache: None,
             rng: None,
             step: 0,
             firings: 0,
@@ -102,6 +114,23 @@ impl<'g, E: Environment> Simulator<'g, E> {
     pub fn with_policy(mut self, policy: FiringPolicy) -> Self {
         self.policy = policy;
         self.rng = policy.rng();
+        self
+    }
+
+    /// Memoise data-path evaluations through a shared [`EvalCache`].
+    ///
+    /// Evaluation is a pure function of `(design, environment, marking,
+    /// register state, input cursors)`, so runs wired to the same cache
+    /// share work whenever they pass through the same configuration —
+    /// which policy/seed sweeps over the same design do almost every step.
+    /// Silently a no-op when the environment cannot be fingerprinted
+    /// ([`Environment::fingerprint`] returns `None`).
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = self.env.fingerprint().map(|env_fp| CacheHandle {
+            cache,
+            design_fp: self.g.fingerprint(),
+            env_fp,
+        });
         self
     }
 
@@ -148,13 +177,37 @@ impl<'g, E: Environment> Simulator<'g, E> {
             return Ok(None);
         }
         let g = self.g;
-        let vals = {
+        let vals: Arc<StepValues> = {
             let env = &self.env;
             let cursors = &self.cursors;
-            self.evaluator
-                .step(g, &self.marking, &self.state, self.step, |v| {
-                    env.value_at(v, &g.dp.vertex(v).name, cursors.position(v))
-                })?
+            let key = self.cache.as_ref().map(|h| StepKey {
+                design: h.design_fp,
+                env: h.env_fp,
+                marking: self.marking.stable_hash64(),
+                state: self.state.stable_hash64(),
+                cursors: cursors.stable_hash64(),
+            });
+            let cached = match (&self.cache, &key) {
+                (Some(h), Some(k)) => h.cache.lookup(k, &self.marking, &self.state, cursors),
+                _ => None,
+            };
+            match cached {
+                Some(v) => v,
+                None => {
+                    let fresh = Arc::new(self.evaluator.step(
+                        g,
+                        &self.marking,
+                        &self.state,
+                        self.step,
+                        |v| env.value_at(v, &g.dp.vertex(v).name, cursors.position(v)),
+                    )?);
+                    if let (Some(h), Some(k)) = (&self.cache, key) {
+                        h.cache
+                            .insert(k, &self.marking, &self.state, cursors, Arc::clone(&fresh));
+                    }
+                    fresh
+                }
+            }
         };
 
         if !self.watch.is_empty() {
@@ -319,7 +372,9 @@ mod tests {
     #[test]
     fn computes_and_emits_sum() {
         let g = add_once();
-        let env = ScriptedEnv::new().with_stream("a", [3]).with_stream("b", [4]);
+        let env = ScriptedEnv::new()
+            .with_stream("a", [3])
+            .with_stream("b", [4]);
         let trace = Simulator::new(&g, env).run(10).unwrap();
         assert_eq!(trace.values_on_named_output(&g, "y"), vec![7]);
         assert_eq!(trace.termination, Termination::Terminated);
@@ -329,7 +384,9 @@ mod tests {
     #[test]
     fn event_labels_and_steps() {
         let g = add_once();
-        let env = ScriptedEnv::new().with_stream("a", [3]).with_stream("b", [4]);
+        let env = ScriptedEnv::new()
+            .with_stream("a", [3])
+            .with_stream("b", [4]);
         let trace = Simulator::new(&g, env).run(10).unwrap();
         // Step 0: s0 exits → two input events; step 1: s1 exits → output event.
         assert_eq!(trace.events.len(), 3);

@@ -16,6 +16,17 @@ pub trait Environment {
     ///
     /// Returning [`Value::Undef`] models an exhausted or absent stream.
     fn value_at(&self, input: VertexId, name: &str, k: u64) -> Value;
+
+    /// A process-independent 64-bit fingerprint of the whole environment,
+    /// or `None` when one cannot be computed (e.g. [`FnEnv`] closures).
+    ///
+    /// Two environments with equal fingerprints must answer every
+    /// `value_at` query identically — the batch-simulation memo cache keys
+    /// evaluations on it, so a sloppy fingerprint silently corrupts
+    /// results. Returning `None` simply opts the run out of memoisation.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// An environment defined by explicit finite streams keyed by input-vertex
@@ -76,6 +87,31 @@ impl Environment for ScriptedEnv {
             None => Value::Undef,
         }
     }
+
+    /// Streams hashed in name order, so `HashMap` iteration order cannot
+    /// leak into the fingerprint.
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = etpn_core::StableHasher::new();
+        h.write_bool(self.repeat_last);
+        let mut names: Vec<&String> = self.streams.keys().collect();
+        names.sort_unstable();
+        h.write_usize(names.len());
+        for name in names {
+            h.write_str(name);
+            let seq = &self.streams[name];
+            h.write_usize(seq.len());
+            for &v in seq {
+                match v {
+                    Value::Undef => h.write_u64(u64::MAX),
+                    Value::Def(x) => {
+                        h.write_bool(true);
+                        h.write_i64(x);
+                    }
+                }
+            }
+        }
+        Some(h.finish())
+    }
 }
 
 /// An environment computing each value on demand from `(name, k)`.
@@ -124,6 +160,21 @@ impl InputCursors {
     /// which one of its arcs was open).
     pub fn advance(&mut self, v: VertexId) {
         self.positions[v.idx()] += 1;
+    }
+
+    /// The raw position array (raw-vertex-id indexed). Exposed for the
+    /// batch-simulation memo cache, which snapshots it for exact key
+    /// verification.
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+
+    /// A process-independent 64-bit hash of all cursor positions (see
+    /// [`etpn_core::hash::StableHasher`]). Memo-cache keys depend on it.
+    pub fn stable_hash64(&self) -> u64 {
+        etpn_core::hash::stable_hash_words(
+            std::iter::once(self.positions.len() as u64).chain(self.positions.iter().copied()),
+        )
     }
 }
 

@@ -100,6 +100,43 @@ where
     Ok(compare_structures(&s1, &s2))
 }
 
+/// [`observationally_equal`] over many environments at once, batched
+/// through a [`crate::fleet::Fleet`]: one verdict per environment, in
+/// order. Both designs run under the deterministic policy; all 2·N runs
+/// share the fleet's memo cache, so environments with common stream
+/// prefixes (and the two designs' common evaluations) are only evaluated
+/// once.
+pub fn observational_sweep<E>(
+    fleet: &crate::fleet::Fleet,
+    g1: &Etpn,
+    g2: &Etpn,
+    envs: &[E],
+    max_steps: u64,
+) -> Result<Vec<EquivalenceVerdict>, crate::error::SimError>
+where
+    E: crate::env::Environment + Clone + Send,
+{
+    let jobs: Vec<crate::fleet::SimJob<E>> = envs
+        .iter()
+        .flat_map(|env| {
+            [
+                crate::fleet::SimJob::new(g1, env.clone()).max_steps(max_steps),
+                crate::fleet::SimJob::new(g2, env.clone()).max_steps(max_steps),
+            ]
+        })
+        .collect();
+    let batch = fleet.run_batch(jobs);
+    let mut verdicts = Vec::with_capacity(envs.len());
+    let mut results = batch.results.into_iter();
+    while let (Some(r1), Some(r2)) = (results.next(), results.next()) {
+        let (t1, t2) = (r1?, r2?);
+        let s1 = crate::extract::event_structure(g1, &t1);
+        let s2 = crate::extract::event_structure(g2, &t2);
+        verdicts.push(compare_structures(&s1, &s2));
+    }
+    Ok(verdicts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +191,44 @@ mod tests {
         let t2 = trace_with(&[(5, 7, 0)]);
         let v = compare_values(&t1, &t2, |_| ArcId::new(5));
         assert!(v.is_equivalent());
+    }
+
+    #[test]
+    fn sweep_matches_pairwise_comparison() {
+        use crate::env::ScriptedEnv;
+        use crate::fleet::Fleet;
+        use etpn_core::{EtpnBuilder, Op};
+
+        // A design compared against itself is equivalent for any environment.
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let neg = b.operator(Op::Neg, 1, "neg");
+        let r = b.register("r");
+        let y = b.output("y");
+        let a0 = b.connect(b.out_port(x, 0), b.in_port(neg, 0));
+        let a1 = b.connect(b.out_port(neg, 0), b.in_port(r, 0));
+        let a2 = b.connect(b.out_port(r, 0), b.in_port(y, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        let s2 = b.place("s2");
+        b.control(s0, [a0, a1]);
+        b.control(s1, [a2]);
+        b.seq(s0, s1, "t0");
+        b.seq(s1, s2, "t1");
+        let fin = b.transition("fin");
+        b.flow_st(s2, fin);
+        b.mark(s0);
+        let g = b.finish().unwrap();
+
+        let envs: Vec<ScriptedEnv> = (0..5)
+            .map(|i| ScriptedEnv::new().with_stream("x", [i, i + 1]))
+            .collect();
+        let fleet = Fleet::new(2);
+        let verdicts = observational_sweep(&fleet, &g, &g, &envs, 50).unwrap();
+        assert_eq!(verdicts.len(), 5);
+        assert!(verdicts.iter().all(EquivalenceVerdict::is_equivalent));
+        let stats = fleet.cache().stats();
+        assert!(stats.hits > 0, "self-comparison must share evaluations");
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::InputConflict { port, step } => {
-                write!(f, "input port {port} driven by multiple open arcs at step {step}")
+                write!(
+                    f,
+                    "input port {port} driven by multiple open arcs at step {step}"
+                )
             }
             SimError::CombinationalLoop { port, step } => {
                 write!(f, "active combinational loop through {port} at step {step}")

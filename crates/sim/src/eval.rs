@@ -37,6 +37,30 @@ impl DpState {
     pub fn set(&mut self, p: PortId, v: Value) {
         self.seq[p.idx()] = v;
     }
+
+    /// The raw latched-value array (raw-port-id indexed). Exposed for the
+    /// batch-simulation memo cache, which snapshots it for exact key
+    /// verification.
+    pub fn values(&self) -> &[Value] {
+        &self.seq
+    }
+
+    /// A process-independent 64-bit hash of the register state (see
+    /// [`etpn_core::hash::StableHasher`]). Memo-cache keys depend on it.
+    pub fn stable_hash64(&self) -> u64 {
+        let mut h = etpn_core::StableHasher::new();
+        h.write_usize(self.seq.len());
+        for &v in &self.seq {
+            match v {
+                Value::Undef => h.write_u64(u64::MAX),
+                Value::Def(x) => {
+                    h.write_bool(true);
+                    h.write_i64(x);
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 /// Result of evaluating one step.
@@ -138,14 +162,16 @@ impl Evaluator {
             let port = g.dp.port(p);
             let deg = match port.dir {
                 Dir::In => {
-                    let n = g
-                        .dp
-                        .incoming_arcs(p)
-                        .iter()
-                        .filter(|&&a| open.contains(a.idx()))
-                        .count();
+                    let n =
+                        g.dp.incoming_arcs(p)
+                            .iter()
+                            .filter(|&&a| open.contains(a.idx()))
+                            .count();
                     if n > 1 {
-                        return Err(SimError::InputConflict { port: p, step: step_no });
+                        return Err(SimError::InputConflict {
+                            port: p,
+                            step: step_no,
+                        });
                     }
                     n as u32
                 }
@@ -229,7 +255,10 @@ impl Evaluator {
                 .find(|&&p| !self.done[p.idx()])
                 .copied()
                 .expect("at least one unprocessed port");
-            return Err(SimError::CombinationalLoop { port: stuck, step: step_no });
+            return Err(SimError::CombinationalLoop {
+                port: stuck,
+                step: step_no,
+            });
         }
 
         Ok(StepValues {
@@ -326,9 +355,7 @@ mod tests {
         let r = g.dp.vertex_by_name("r").unwrap();
         let rp = g.dp.out_port(r, 0);
 
-        let vals = ev
-            .step(&g, &m, &state, 0, |_| Value::Def(5))
-            .unwrap();
+        let vals = ev.step(&g, &m, &state, 0, |_| Value::Def(5)).unwrap();
         ev.latch_for_places(&g, &[s], &vals, &mut state);
         assert_eq!(state.get(rp), Value::Def(10));
 

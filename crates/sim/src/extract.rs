@@ -98,7 +98,9 @@ mod tests {
     #[test]
     fn same_place_same_step_events_are_concurrent() {
         let g = parallel_copy();
-        let env = ScriptedEnv::new().with_stream("x", [1]).with_stream("y", [2]);
+        let env = ScriptedEnv::new()
+            .with_stream("x", [1])
+            .with_stream("y", [2]);
         let trace = Simulator::new(&g, env).run(20).unwrap();
         let s = event_structure(&g, &trace);
         // The two load events under s0 happen at step 0 under one place.
@@ -108,7 +110,9 @@ mod tests {
     #[test]
     fn parallel_branch_events_are_casual() {
         let g = parallel_copy();
-        let env = ScriptedEnv::new().with_stream("x", [1]).with_stream("y", [2]);
+        let env = ScriptedEnv::new()
+            .with_stream("x", [1])
+            .with_stream("y", [2]);
         let trace = Simulator::new(&g, env).run(20).unwrap();
         let s = event_structure(&g, &trace);
         // Find the emit events (on arcs into outputs).
@@ -128,15 +132,23 @@ mod tests {
     #[test]
     fn load_precedes_emit() {
         let g = parallel_copy();
-        let env = ScriptedEnv::new().with_stream("x", [1]).with_stream("y", [2]);
+        let env = ScriptedEnv::new()
+            .with_stream("x", [1])
+            .with_stream("y", [2]);
         let trace = Simulator::new(&g, env).run(20).unwrap();
         let s = event_structure(&g, &trace);
         let x = g.dp.vertex_by_name("x").unwrap();
         let load_x_arc = g.dp.outgoing_arcs(g.dp.out_port(x, 0))[0];
         let ox = g.dp.vertex_by_name("ox").unwrap();
         let emit_x_arc = g.dp.incoming_arcs(g.dp.vertex(ox).inputs[0])[0];
-        let kl = EventKey { arc: load_x_arc, k: 0 };
-        let ke = EventKey { arc: emit_x_arc, k: 0 };
+        let kl = EventKey {
+            arc: load_x_arc,
+            k: 0,
+        };
+        let ke = EventKey {
+            arc: emit_x_arc,
+            k: 0,
+        };
         assert!(s.precedes(kl, ke), "s0 ⇒ sx and step order holds");
         assert!(!s.precedes(ke, kl));
     }
@@ -145,8 +157,11 @@ mod tests {
     fn structures_equal_across_policies() {
         use crate::policy::FiringPolicy;
         let g = parallel_copy();
-        let mk_env =
-            || ScriptedEnv::new().with_stream("x", [1]).with_stream("y", [2]);
+        let mk_env = || {
+            ScriptedEnv::new()
+                .with_stream("x", [1])
+                .with_stream("y", [2])
+        };
         let t1 = Simulator::new(&g, mk_env()).run(50).unwrap();
         let s1 = event_structure(&g, &t1);
         for seed in 0..4 {
@@ -155,12 +170,7 @@ mod tests {
                 .run(50)
                 .unwrap();
             let s2 = event_structure(&g, &t2);
-            assert_eq!(
-                s1,
-                s2,
-                "policy seed {seed}: {:?}",
-                s1.first_difference(&s2)
-            );
+            assert_eq!(s1, s2, "policy seed {seed}: {:?}", s1.first_difference(&s2));
         }
     }
 }

@@ -1,0 +1,679 @@
+//! Batch simulation: a work-stealing job fleet over a shared memo cache.
+//!
+//! The policy-invariance battery (E10), the semantic oracle of
+//! `etpn-transform`, and the experiment sweeps all run *many* simulations
+//! of the same few designs under varying policies, seeds and environments.
+//! Two observations make that embarrassingly compressible:
+//!
+//! 1. the jobs are independent, so they spread over worker threads;
+//! 2. data-path evaluation ([`crate::eval::Evaluator::step`]) is a pure
+//!    function of `(design, environment, marking, register state, input
+//!    cursors)` — the firing policy and its RNG only decide *which*
+//!    transitions fire afterwards. Runs that pass through the same
+//!    configuration (which seed sweeps over mostly-serial control nets do
+//!    almost every step) can share one evaluation.
+//!
+//! [`Fleet::run_batch`] exploits both: jobs are striped over per-worker
+//! deques (idle workers steal from the back of their neighbours'), and
+//! every simulator is wired to one [`EvalCache`] — a lock-sharded,
+//! bounded memo table from step configurations to [`StepValues`].
+//! Results come back indexed by submission order, so the output is
+//! deterministic regardless of how the jobs were scheduled or stolen.
+//!
+//! Cache keys are [`etpn_core::StableHasher`] digests; to make a 64-bit
+//! collision harmless rather than silently corrupting, every entry also
+//! stores an exact snapshot of its configuration and a hit is only
+//! reported when the snapshot matches.
+
+use crate::engine::Simulator;
+use crate::env::{Environment, InputCursors, ScriptedEnv};
+use crate::error::SimError;
+use crate::eval::{DpState, StepValues};
+use crate::policy::FiringPolicy;
+use crate::trace::Trace;
+use etpn_core::{Etpn, Marking, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked cache shards (power of two).
+const SHARDS: usize = 16;
+
+/// Default total cache capacity in entries.
+const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One simulation request: a design, an environment and a run
+/// configuration. Built builder-style, mirroring [`Simulator`].
+#[derive(Clone)]
+pub struct SimJob<'g, E: Environment = ScriptedEnv> {
+    g: &'g Etpn,
+    env: E,
+    policy: FiringPolicy,
+    max_steps: u64,
+    init_all: Option<i64>,
+    reg_inits: Vec<(String, i64)>,
+    allow_unsafe: bool,
+}
+
+impl<'g, E: Environment> SimJob<'g, E> {
+    /// A job over `g` and `env` with the deterministic
+    /// [`FiringPolicy::MaximalStep`] policy and a 10 000-step budget.
+    pub fn new(g: &'g Etpn, env: E) -> Self {
+        Self {
+            g,
+            env,
+            policy: FiringPolicy::MaximalStep,
+            max_steps: 10_000,
+            init_all: None,
+            reg_inits: Vec::new(),
+            allow_unsafe: false,
+        }
+    }
+
+    /// Select the firing policy (the seed lives inside the policy).
+    pub fn with_policy(mut self, policy: FiringPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the step budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Initialise every register to `value` before the run.
+    pub fn init_registers(mut self, value: i64) -> Self {
+        self.init_all = Some(value);
+        self
+    }
+
+    /// Initialise the register vertex named `name` to `value`.
+    pub fn init_register(mut self, name: &str, value: i64) -> Self {
+        self.reg_inits.push((name.to_string(), value));
+        self
+    }
+
+    /// Disable the runtime safeness check (Def. 3.2(2)).
+    pub fn allow_unsafe(mut self) -> Self {
+        self.allow_unsafe = true;
+        self
+    }
+
+    /// Execute this job on the calling thread, memoising through `cache`.
+    pub fn run(self, cache: &Arc<EvalCache>) -> Result<Trace, SimError> {
+        let mut sim = Simulator::new(self.g, self.env)
+            .with_policy(self.policy)
+            .with_cache(Arc::clone(cache));
+        if let Some(v) = self.init_all {
+            sim = sim.init_registers(v);
+        }
+        for (name, v) in &self.reg_inits {
+            sim = sim.init_register(name, *v);
+        }
+        if self.allow_unsafe {
+            sim = sim.allow_unsafe();
+        }
+        sim.run(self.max_steps)
+    }
+
+    /// Execute this job sequentially with no cache (reference path).
+    pub fn run_uncached(self) -> Result<Trace, SimError> {
+        let mut sim = Simulator::new(self.g, self.env).with_policy(self.policy);
+        if let Some(v) = self.init_all {
+            sim = sim.init_registers(v);
+        }
+        for (name, v) in &self.reg_inits {
+            sim = sim.init_register(name, *v);
+        }
+        if self.allow_unsafe {
+            sim = sim.allow_unsafe();
+        }
+        sim.run(self.max_steps)
+    }
+}
+
+/// The full memo-cache key: stable hashes of every input the evaluator
+/// reads. Equal keys *almost always* mean equal configurations; the stored
+/// snapshot settles the rest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct StepKey {
+    pub design: u64,
+    pub env: u64,
+    pub marking: u64,
+    pub state: u64,
+    pub cursors: u64,
+}
+
+impl StepKey {
+    fn shard(&self) -> usize {
+        (etpn_core::hash::stable_hash_words([
+            self.design,
+            self.env,
+            self.marking,
+            self.state,
+            self.cursors,
+        ]) as usize)
+            % SHARDS
+    }
+}
+
+/// The exact configuration snapshot a hit must match, plus the memoised
+/// evaluation result.
+struct CacheEntry {
+    marking: Marking,
+    state: Vec<Value>,
+    cursors: Vec<u64>,
+    vals: Arc<StepValues>,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<StepKey, CacheEntry>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<StepKey>,
+}
+
+/// A bounded, lock-sharded memo table from step configurations to
+/// [`StepValues`], shared by every simulator of a fleet (and safely by
+/// concurrent fleets over the same designs).
+pub struct EvalCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalCache {
+    /// A cache with the default capacity (65 536 entries).
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A cache bounded to roughly `capacity` entries in total. Entries are
+    /// evicted FIFO per shard once a shard fills.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a step configuration. Counts exactly one hit or one miss; a
+    /// key collision whose snapshot mismatches is a miss.
+    pub(crate) fn lookup(
+        &self,
+        key: &StepKey,
+        marking: &Marking,
+        state: &DpState,
+        cursors: &InputCursors,
+    ) -> Option<Arc<StepValues>> {
+        let shard = self.shards[key.shard()]
+            .lock()
+            .expect("cache shard poisoned");
+        let found = shard.map.get(key).and_then(|e| {
+            let exact = e.marking == *marking
+                && e.state == state.values()
+                && e.cursors == cursors.positions();
+            exact.then(|| Arc::clone(&e.vals))
+        });
+        drop(shard);
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoise an evaluation under its configuration snapshot.
+    pub(crate) fn insert(
+        &self,
+        key: StepKey,
+        marking: &Marking,
+        state: &DpState,
+        cursors: &InputCursors,
+        vals: Arc<StepValues>,
+    ) {
+        let mut shard = self.shards[key.shard()]
+            .lock()
+            .expect("cache shard poisoned");
+        while shard.map.len() >= self.shard_capacity {
+            match shard.order.pop_front() {
+                Some(old) => {
+                    if shard.map.remove(&old).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+        let entry = CacheEntry {
+            marking: marking.clone(),
+            state: state.values().to_vec(),
+            cursors: cursors.positions().to_vec(),
+            vals,
+        };
+        if shard.map.insert(key, entry).is_none() {
+            shard.order.push_back(key);
+        }
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").map.len() as u64)
+                .sum(),
+        }
+    }
+}
+
+/// Counter snapshot of an [`EvalCache`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (snapshot-verified).
+    pub hits: u64,
+    /// Lookups that fell through to a fresh evaluation.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (`hits + misses` by construction).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let l = self.lookups();
+        if l == 0 {
+            0.0
+        } else {
+            self.hits as f64 / l as f64
+        }
+    }
+}
+
+/// Summary of one [`Fleet::run_batch`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FleetStats {
+    /// Number of jobs executed.
+    pub jobs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs executed by a worker other than the one they were striped to.
+    pub stolen: u64,
+    /// Cache counters accumulated over the batch (cumulative if the cache
+    /// is shared across batches).
+    pub cache: CacheStats,
+}
+
+/// Everything a batch run returns: per-job outcomes in submission order
+/// plus the run summary.
+pub struct FleetBatch {
+    /// `results[i]` is the outcome of the `i`-th submitted job, whatever
+    /// order the workers actually ran them in.
+    pub results: Vec<Result<Trace, SimError>>,
+    /// Scheduling and cache counters for the batch.
+    pub stats: FleetStats,
+}
+
+/// A reusable batch-simulation engine: a worker count and a shared
+/// [`EvalCache`]. Batches run on scoped threads, so jobs may borrow their
+/// designs from the caller's stack.
+pub struct Fleet {
+    workers: usize,
+    cache: Arc<EvalCache>,
+}
+
+impl Fleet {
+    /// A fleet with `workers` threads (`0` means one per available CPU)
+    /// and a fresh default-capacity cache.
+    pub fn new(workers: usize) -> Self {
+        Self::with_cache(workers, Arc::new(EvalCache::new()))
+    }
+
+    /// A fleet over an existing (possibly shared) cache.
+    pub fn with_cache(workers: usize, cache: Arc<EvalCache>) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            workers
+        };
+        Self { workers, cache }
+    }
+
+    /// The shared evaluation cache (inspect via [`EvalCache::stats`]).
+    pub fn cache(&self) -> &Arc<EvalCache> {
+        &self.cache
+    }
+
+    /// Run every job, returning results in submission order.
+    ///
+    /// Jobs are striped round-robin over per-worker deques; each worker
+    /// drains its own deque from the front and steals from the *back* of
+    /// the others when idle, so the batch balances itself even when job
+    /// lengths are skewed.
+    pub fn run_batch<'g, E: Environment + Send>(&self, jobs: Vec<SimJob<'g, E>>) -> FleetBatch {
+        type WorkQueue<'g, E> = Mutex<VecDeque<(usize, SimJob<'g, E>)>>;
+        let n_jobs = jobs.len();
+        let workers = self.workers.min(n_jobs).max(1);
+        let queues: Vec<WorkQueue<'g, E>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            queues[i % workers]
+                .lock()
+                .expect("fleet queue poisoned")
+                .push_back((i, job));
+        }
+        let slots: Vec<Mutex<Option<Result<Trace, SimError>>>> =
+            (0..n_jobs).map(|_| Mutex::new(None)).collect();
+        let stolen = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                let stolen = &stolen;
+                let cache = &self.cache;
+                scope.spawn(move || loop {
+                    let mut next = queues[w].lock().expect("fleet queue poisoned").pop_front();
+                    if next.is_none() {
+                        for d in 1..workers {
+                            let victim = (w + d) % workers;
+                            next = queues[victim]
+                                .lock()
+                                .expect("fleet queue poisoned")
+                                .pop_back();
+                            if next.is_some() {
+                                stolen.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    match next {
+                        Some((idx, job)) => {
+                            let outcome = job.run(cache);
+                            *slots[idx].lock().expect("fleet slot poisoned") = Some(outcome);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+
+        let results: Vec<Result<Trace, SimError>> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("fleet slot poisoned")
+                    .expect("every submitted job is executed exactly once")
+            })
+            .collect();
+        FleetBatch {
+            results,
+            stats: FleetStats {
+                jobs: n_jobs,
+                workers,
+                stolen: stolen.load(Ordering::Relaxed),
+                cache: self.cache.stats(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::{EtpnBuilder, Op};
+
+    /// s0: load r := a + b;  s1: emit r to y;  then terminate.
+    fn add_once() -> Etpn {
+        let mut b = EtpnBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let add = b.operator(Op::Add, 2, "add");
+        let r = b.register("r");
+        let out = b.output("y");
+        let arc_a = b.connect(b.out_port(a, 0), b.in_port(add, 0));
+        let arc_b = b.connect(b.out_port(c, 0), b.in_port(add, 1));
+        let load = b.connect(b.out_port(add, 0), b.in_port(r, 0));
+        let emit = b.connect(b.out_port(r, 0), b.in_port(out, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        let s_end = b.place("end");
+        b.control(s0, [arc_a, arc_b, load]);
+        b.control(s1, [emit]);
+        b.seq(s0, s1, "t0");
+        b.seq(s1, s_end, "t1");
+        let t2 = b.transition("t2");
+        b.flow_st(s_end, t2);
+        b.mark(s0);
+        b.finish().unwrap()
+    }
+
+    fn env_ab(a: i64, b: i64) -> ScriptedEnv {
+        ScriptedEnv::new()
+            .with_stream("a", [a])
+            .with_stream("b", [b])
+    }
+
+    #[test]
+    fn batch_results_follow_submission_order() {
+        let g = add_once();
+        let jobs: Vec<SimJob> = (0..12)
+            .map(|i| SimJob::new(&g, env_ab(i, 100)).max_steps(10))
+            .collect();
+        let fleet = Fleet::new(4);
+        let batch = fleet.run_batch(jobs);
+        assert_eq!(batch.stats.jobs, 12);
+        for (i, r) in batch.results.iter().enumerate() {
+            let t = r.as_ref().unwrap();
+            assert_eq!(t.values_on_named_output(&g, "y"), vec![i as i64 + 100]);
+        }
+    }
+
+    #[test]
+    fn identical_jobs_share_evaluations() {
+        let g = add_once();
+        let jobs: Vec<SimJob> = (0..8)
+            .map(|_| SimJob::new(&g, env_ab(3, 4)).max_steps(10))
+            .collect();
+        let fleet = Fleet::new(2);
+        let batch = fleet.run_batch(jobs);
+        let stats = batch.stats.cache;
+        assert!(
+            stats.hits > 0,
+            "repeated identical runs must hit: {stats:?}"
+        );
+        assert_eq!(stats.lookups(), stats.hits + stats.misses);
+        for r in &batch.results {
+            assert_eq!(r.as_ref().unwrap().values_on_named_output(&g, "y"), vec![7]);
+        }
+    }
+
+    #[test]
+    fn cached_run_equals_uncached_run() {
+        let g = add_once();
+        let cache = Arc::new(EvalCache::new());
+        // Warm the cache, then re-run and compare against the no-cache path.
+        SimJob::new(&g, env_ab(5, 6)).run(&cache).unwrap();
+        let warm = SimJob::new(&g, env_ab(5, 6)).run(&cache).unwrap();
+        let cold = SimJob::new(&g, env_ab(5, 6)).run_uncached().unwrap();
+        assert_eq!(format!("{warm:?}"), format!("{cold:?}"));
+        assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let g = add_once();
+        let fleet = Fleet::new(3);
+        let batch = fleet.run_batch(Vec::<SimJob>::new());
+        assert!(batch.results.is_empty());
+        let _ = &g;
+    }
+
+    #[test]
+    fn eviction_respects_capacity_bound() {
+        let g = add_once();
+        let cache = Arc::new(EvalCache::with_capacity(SHARDS)); // 1 entry per shard
+        for i in 0..50 {
+            SimJob::new(&g, env_ab(i, i)).run(&cache).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= SHARDS as u64 * 2);
+        assert!(stats.evictions > 0, "tiny cache must evict: {stats:?}");
+        assert_eq!(stats.lookups(), stats.hits + stats.misses);
+    }
+
+    /// Adversarial `BitSet` patterns: shifted, rotated, prefix-sharing and
+    /// padding-only-different markings must all hash to distinct keys. The
+    /// probes target classic weak-hash failure modes — XOR-cancelling bit
+    /// pairs, equal popcount, trailing empty words.
+    #[test]
+    fn adversarial_bitset_patterns_hash_distinctly() {
+        use etpn_core::bitset::BitSet;
+        let patterns: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![63],
+            vec![64],
+            vec![0, 63],
+            vec![0, 64],
+            vec![63, 64],
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 65],
+            vec![1, 64], // same popcount, shifted pair
+            vec![0, 1, 2, 3],
+            vec![4, 5, 6, 7],    // same popcount, disjoint run
+            (0..64).collect(),   // full first word
+            (64..128).collect(), // full second word
+            (0..128).collect(),
+        ];
+        let mut seen = std::collections::HashMap::new();
+        for (i, pat) in patterns.iter().enumerate() {
+            let mut s = BitSet::new(128);
+            for &b in pat {
+                s.insert(b);
+            }
+            if let Some(j) = seen.insert(s.stable_hash64(), i) {
+                panic!(
+                    "patterns {j:?} and {i:?} collide: {:?} vs {pat:?}",
+                    patterns[j]
+                );
+            }
+        }
+    }
+
+    /// A forced 64-bit key collision (same [`StepKey`], different marking)
+    /// must be answered as a miss: the snapshot check keeps the fast path
+    /// exact, never returning another configuration's values.
+    #[test]
+    fn forced_key_collision_is_a_miss_not_a_wrong_hit() {
+        use etpn_core::bitset::BitSet;
+        let g = add_once();
+        let state = DpState::new(&g);
+        let cursors = InputCursors::new(&g);
+        let m1 = Marking::initial(&g.ctl);
+        let mut m2 = Marking::empty(&g.ctl);
+        // A different configuration: move the token one place over.
+        m2.add(g.ctl.places().ids().nth(1).unwrap());
+        assert_ne!(m1, m2);
+
+        let key = StepKey {
+            design: 1,
+            env: 2,
+            marking: 3, // deliberately NOT m1/m2's real hash: a forced collision
+            state: 4,
+            cursors: 5,
+        };
+        let vals = Arc::new(StepValues {
+            port_values: vec![Value::Undef; g.dp.ports().len()],
+            open_arcs: BitSet::new(g.dp.arcs().len()),
+        });
+        let cache = EvalCache::new();
+        cache.insert(key, &m1, &state, &cursors, Arc::clone(&vals));
+
+        // Same key, matching snapshot: hit.
+        assert!(cache.lookup(&key, &m1, &state, &cursors).is_some());
+        // Same key, different marking: the collision must read as a miss.
+        assert!(cache.lookup(&key, &m2, &state, &cursors).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.lookups(), stats.hits + stats.misses);
+    }
+
+    /// Distinct markings of one design reach distinct cache entries on the
+    /// real (hashed) fast path: walking the add-once net through its three
+    /// markings yields three different `stable_hash64` values.
+    #[test]
+    fn distinct_markings_reach_distinct_entries() {
+        let g = add_once();
+        let mut hashes = std::collections::HashSet::new();
+        let mut m = Marking::initial(&g.ctl);
+        hashes.insert(m.stable_hash64());
+        for t in [0u32, 1] {
+            let enabled = m.enabled_transitions(&g.ctl);
+            assert!(!enabled.is_empty(), "step {t}: net stalled");
+            m.fire(&g.ctl, enabled[0]);
+            hashes.insert(m.stable_hash64());
+        }
+        assert_eq!(hashes.len(), 3, "three markings, three distinct hashes");
+    }
+
+    #[test]
+    fn job_errors_are_reported_per_job() {
+        // An unsafe merge: two tokens into one place.
+        let mut b = EtpnBuilder::new();
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        let s2 = b.place("s2");
+        let t0 = b.transition("t0");
+        b.flow_st(s0, t0);
+        b.flow_ts(t0, s2);
+        let t1 = b.transition("t1");
+        b.flow_st(s1, t1);
+        b.flow_ts(t1, s2);
+        b.mark(s0);
+        b.mark(s1);
+        let bad = b.finish().unwrap();
+        let good = add_once();
+        let jobs = vec![
+            SimJob::new(&good, env_ab(1, 2)).max_steps(10),
+            SimJob::new(&bad, ScriptedEnv::new()).max_steps(10),
+        ];
+        let batch = Fleet::new(2).run_batch(jobs);
+        assert!(batch.results[0].is_ok());
+        assert!(matches!(
+            batch.results[1],
+            Err(SimError::UnsafeMarking { .. })
+        ));
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`trace`] / [`extract`] — run records and extraction of the external
 //!   event structure `S(Γ)` (Def. 3.5);
 //! * [`equiv`] — empirical semantic-equivalence comparison (Def. 4.1);
-//! * [`determinism`] — the policy-invariance battery justifying Def. 3.2.
+//! * [`determinism`] — the policy-invariance battery justifying Def. 3.2;
+//! * [`fleet`] — work-stealing batch simulation over a shared, sharded
+//!   memo cache for policy/seed/environment sweeps.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +28,7 @@ pub mod equiv;
 pub mod error;
 pub mod eval;
 pub mod extract;
+pub mod fleet;
 pub mod policy;
 pub mod trace;
 pub mod vcd;
@@ -34,8 +37,12 @@ pub use coverage::{coverage, CoverageReport};
 pub use determinism::{check_determinism, check_determinism_with, DeterminismReport};
 pub use engine::Simulator;
 pub use env::{Environment, FnEnv, ScriptedEnv};
-pub use equiv::{compare_structures, compare_values, observationally_equal, EquivalenceVerdict};
+pub use equiv::{
+    compare_structures, compare_values, observational_sweep, observationally_equal,
+    EquivalenceVerdict,
+};
 pub use error::SimError;
 pub use extract::event_structure;
+pub use fleet::{CacheStats, EvalCache, Fleet, FleetBatch, FleetStats, SimJob};
 pub use policy::FiringPolicy;
 pub use trace::{Termination, Trace};

@@ -109,7 +109,11 @@ mod tests {
         assert!(vcd.contains("$var wire 64 ! r $end"), "{vcd}");
         assert!(vcd.contains("#0"));
         // r counts 0,1,2,3,4 — five value changes.
-        assert_eq!(vcd.matches("\nb").count() + usize::from(vcd.starts_with('b')), 5, "{vcd}");
+        assert_eq!(
+            vcd.matches("\nb").count() + usize::from(vcd.starts_with('b')),
+            5,
+            "{vcd}"
+        );
     }
 
     #[test]

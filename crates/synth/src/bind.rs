@@ -112,14 +112,16 @@ mod tests {
 
     #[test]
     fn report_counts_units_and_bindings() {
-        let d = compile(&parse(
-            "design t { in a; out y; reg r1, r2;
+        let d = compile(
+            &parse(
+                "design t { in a; out y; reg r1, r2;
                 r1 = a;
                 r2 = r1 * r1;
                 r1 = r2 * r2;
                 y = r1; }",
+            )
+            .unwrap(),
         )
-        .unwrap())
         .unwrap();
         let lib = ModuleLibrary::standard();
         let rep = binding_report(&d.etpn, &lib);
@@ -134,8 +136,7 @@ mod tests {
             .into_iter()
             .find(|&(vi, vj)| {
                 let g = rw.design();
-                g.dp.vertex(vi).name.starts_with("op")
-                    && g.dp.vertex(vj).name.starts_with("op")
+                g.dp.vertex(vi).name.starts_with("op") && g.dp.vertex(vj).name.starts_with("op")
             })
             .expect("the two multipliers are mergeable");
         rw.apply(Transform::Merge(vi, vj)).unwrap();

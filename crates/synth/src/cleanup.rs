@@ -47,35 +47,29 @@ pub fn share_constants(g: &mut Etpn) -> SynthResult<usize> {
 
 /// Remove internal vertices with no adjacent arcs; returns the count.
 pub fn remove_dead_units(g: &mut Etpn) -> SynthResult<usize> {
-    let dead: Vec<VertexId> = g
-        .dp
-        .vertices()
-        .iter()
-        .filter(|(v, vx)| {
-            !vx.is_external()
-                && vx
-                    .inputs
-                    .iter()
-                    .chain(&vx.outputs)
-                    .all(|&p| {
+    let dead: Vec<VertexId> =
+        g.dp.vertices()
+            .iter()
+            .filter(|(v, vx)| {
+                !vx.is_external()
+                    && vx.inputs.iter().chain(&vx.outputs).all(|&p| {
                         g.dp.incoming_arcs(p).is_empty() && g.dp.outgoing_arcs(p).is_empty()
                     })
-                && {
-                    // Guards may reference an otherwise-unconnected port.
-                    let _ = v;
-                    true
-                }
-        })
-        .map(|(v, _)| v)
-        .collect();
+                    && {
+                        // Guards may reference an otherwise-unconnected port.
+                        let _ = v;
+                        true
+                    }
+            })
+            .map(|(v, _)| v)
+            .collect();
     let mut removed = 0;
     for v in dead {
-        let guarded = g
-            .dp
-            .vertex(v)
-            .outputs
-            .iter()
-            .any(|&p| !g.ctl.guarded_by(p).is_empty());
+        let guarded =
+            g.dp.vertex(v)
+                .outputs
+                .iter()
+                .any(|&p| !g.ctl.guarded_by(p).is_empty());
         if !guarded {
             g.dp.remove_vertex(v)?;
             removed += 1;
@@ -93,24 +87,25 @@ mod tests {
 
     #[test]
     fn constants_are_shared_across_states() {
-        let d = compile(&parse(
-            "design t { in x; out y; reg r1, r2;
+        let d = compile(
+            &parse(
+                "design t { in x; out y; reg r1, r2;
                 r1 = x + 3;
                 r2 = r1 * 3;
                 y = r2; }",
+            )
+            .unwrap(),
         )
-        .unwrap())
         .unwrap();
         let mut g = d.etpn.clone();
-        let consts_before = g
-            .dp
-            .vertices()
-            .iter()
-            .filter(|(_, vx)| {
-                vx.outputs.len() == 1
-                    && matches!(g.dp.port(vx.outputs[0]).operation(), Op::Const(_))
-            })
-            .count();
+        let consts_before =
+            g.dp.vertices()
+                .iter()
+                .filter(|(_, vx)| {
+                    vx.outputs.len() == 1
+                        && matches!(g.dp.port(vx.outputs[0]).operation(), Op::Const(_))
+                })
+                .count();
         assert_eq!(consts_before, 2, "one per occurrence of `3`");
         let removed = share_constants(&mut g).unwrap();
         assert_eq!(removed, 1);
@@ -131,15 +126,17 @@ mod tests {
 
     #[test]
     fn sharing_across_parallel_branches_is_safe() {
-        let d = compile(&parse(
-            "design t { in a; out y, z; reg r1, r2, s1, s2;
+        let d = compile(
+            &parse(
+                "design t { in a; out y, z; reg r1, r2, s1, s2;
                 r1 = a;
                 r2 = a;
                 par { { s1 = r1 + 7; } { s2 = r2 * 7; } }
                 y = s1;
                 z = s2; }",
+            )
+            .unwrap(),
         )
-        .unwrap())
         .unwrap();
         let mut g = d.etpn.clone();
         let removed = share_constants(&mut g).unwrap();
@@ -159,8 +156,7 @@ mod tests {
 
     #[test]
     fn dead_unit_removal() {
-        let d = compile(&parse("design t { in x; out y; reg r; r = x; y = r; }").unwrap())
-            .unwrap();
+        let d = compile(&parse("design t { in x; out y; reg r; r = x; y = r; }").unwrap()).unwrap();
         let mut g = d.etpn;
         // Create an orphan.
         g.dp.add_unit("orphan", 2, &[Op::Add]).unwrap();

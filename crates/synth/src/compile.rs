@@ -41,10 +41,7 @@ pub struct CompiledDesign {
 
 impl CompiledDesign {
     /// Build a simulator with register reset values applied.
-    pub fn simulator<'g, E: etpn_sim::Environment>(
-        &'g self,
-        env: E,
-    ) -> etpn_sim::Simulator<'g, E> {
+    pub fn simulator<'g, E: etpn_sim::Environment>(&'g self, env: E) -> etpn_sim::Simulator<'g, E> {
         let mut sim = etpn_sim::Simulator::new(&self.etpn, env);
         for (name, value) in &self.reg_inits {
             sim = sim.init_register(name, *value);
@@ -121,12 +118,7 @@ impl Compiler {
         Ok(())
     }
 
-    fn connect(
-        &mut self,
-        from: PortId,
-        to: PortId,
-        arcs: &mut Vec<ArcId>,
-    ) -> SynthResult<()> {
+    fn connect(&mut self, from: PortId, to: PortId, arcs: &mut Vec<ArcId>) -> SynthResult<()> {
         let a = self.g.dp.connect(from, to)?;
         arcs.push(a);
         Ok(())
@@ -167,11 +159,7 @@ impl Compiler {
                         let name = self.fresh("u");
                         let vx = self.g.dp.add_unit(name, 2, &[Op::Eq])?;
                         self.connect(p, self.g.dp.in_port(vx, 0), arcs)?;
-                        self.connect(
-                            self.g.dp.out_port(z, 0),
-                            self.g.dp.in_port(vx, 1),
-                            arcs,
-                        )?;
+                        self.connect(self.g.dp.out_port(z, 0), self.g.dp.in_port(vx, 1), arcs)?;
                         self.g.dp.out_port(vx, 0)
                     }
                 }
@@ -224,13 +212,21 @@ impl Compiler {
         let name = self.fresh("cmp");
         let vx = self.g.dp.add_unit(name, 2, &[Op::Ne, Op::Eq])?;
         self.connect(root, self.g.dp.in_port(vx, 0), &mut arcs)?;
-        self.connect(self.g.dp.out_port(z, 0), self.g.dp.in_port(vx, 1), &mut arcs)?;
+        self.connect(
+            self.g.dp.out_port(z, 0),
+            self.g.dp.in_port(vx, 1),
+            &mut arcs,
+        )?;
         Ok((self.g.dp.out_port(vx, 0), self.g.dp.out_port(vx, 1), arcs))
     }
 
     /// Build a decide state: evaluates `cond` under a fresh place and
     /// latches the condition bit (observable work, Def. 3.2(5)).
-    fn decide_state(&mut self, cond: &Expr, prefix: &str) -> SynthResult<(PlaceId, PortId, PortId)> {
+    fn decide_state(
+        &mut self,
+        cond: &Expr,
+        prefix: &str,
+    ) -> SynthResult<(PlaceId, PortId, PortId)> {
         let (true_p, false_p, mut arcs) = self.compile_cond(cond)?;
         let rname = self.fresh("cbit");
         let creg = self.g.dp.add_register(rname);
@@ -324,7 +320,7 @@ impl Compiler {
                 self.g.ctl.add_guard(t_body, true_p);
                 let exit_b = self.compile_stmts(body, s_be)?;
                 self.seq(exit_b, s_d)?; // back edge
-                // exit
+                                        // exit
                 let xname = self.fresh("wx");
                 let s_x = self.g.ctl.add_place(xname);
                 let txname = self.fresh("t_exit");
@@ -473,7 +469,9 @@ mod tests {
     #[test]
     fn straight_line_add() {
         let d = compile_src("design t { in a, b; out y; reg r; r = a + b; y = r; }");
-        let env = ScriptedEnv::new().with_stream("a", [3]).with_stream("b", [4]);
+        let env = ScriptedEnv::new()
+            .with_stream("a", [3])
+            .with_stream("b", [4]);
         let trace = d.simulator(env).run(50).unwrap();
         assert_eq!(trace.values_on_named_output(&d.etpn, "y"), vec![7]);
         assert_eq!(trace.termination, Termination::Terminated);
@@ -548,7 +546,9 @@ mod tests {
             ya = r1;
             yb = r2; }";
         let d = compile_src(src);
-        let env = ScriptedEnv::new().with_stream("a", [10]).with_stream("b", [20]);
+        let env = ScriptedEnv::new()
+            .with_stream("a", [10])
+            .with_stream("b", [20]);
         let trace = d.simulator(env).run(100).unwrap();
         assert_eq!(trace.values_on_named_output(&d.etpn, "ya"), vec![11]);
         assert_eq!(trace.values_on_named_output(&d.etpn, "yb"), vec![40]);
@@ -602,7 +602,9 @@ mod tests {
             g = x; }";
         let d = compile_src(src);
         let gcd = |a: i64, b: i64| {
-            let env = ScriptedEnv::new().with_stream("a", [a]).with_stream("b", [b]);
+            let env = ScriptedEnv::new()
+                .with_stream("a", [a])
+                .with_stream("b", [b]);
             d.simulator(env)
                 .run(2000)
                 .unwrap()

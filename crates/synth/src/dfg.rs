@@ -51,8 +51,18 @@ pub fn resource_class(op: Op) -> ResourceClass {
     match op {
         Op::Mul => ResourceClass::Multiplier,
         Op::Div | Op::Rem => ResourceClass::Divider,
-        Op::Add | Op::Sub | Op::Neg | Op::Abs | Op::Min | Op::Max | Op::Eq | Op::Ne
-        | Op::Lt | Op::Le | Op::Gt | Op::Ge => ResourceClass::Alu,
+        Op::Add
+        | Op::Sub
+        | Op::Neg
+        | Op::Abs
+        | Op::Min
+        | Op::Max
+        | Op::Eq
+        | Op::Ne
+        | Op::Lt
+        | Op::Le
+        | Op::Gt
+        | Op::Ge => ResourceClass::Alu,
         Op::And | Op::Or | Op::Xor | Op::Not | Op::Shl | Op::Shr => ResourceClass::Logic,
         Op::Mux | Op::Pass | Op::Const(_) | Op::Reg | Op::Input => ResourceClass::Free,
     }
@@ -207,11 +217,7 @@ pub fn dfg_from_block(stmts: &[Stmt]) -> SynthResult<Dfg> {
     // Name → node currently holding its value.
     let mut env: HashMap<String, usize> = HashMap::new();
 
-    fn expr_node(
-        dfg: &mut Dfg,
-        env: &mut HashMap<String, usize>,
-        e: &Expr,
-    ) -> SynthResult<usize> {
+    fn expr_node(dfg: &mut Dfg, env: &mut HashMap<String, usize>, e: &Expr) -> SynthResult<usize> {
         Ok(match e {
             Expr::Const(v) => push(dfg, Op::Const(*v), vec![], format!("k{v}")),
             Expr::Var(n) => match env.get(n) {

@@ -219,8 +219,7 @@ impl Optimizer {
             }
             MoveSelection::CriticalPathGuided => {
                 let delay = self.lib.delay_fn();
-                let cp: HashSet<PlaceId> =
-                    critical_path(g, &delay).states.into_iter().collect();
+                let cp: HashSet<PlaceId> = critical_path(g, &delay).states.into_iter().collect();
                 let area_mode = matches!(self.objective, Objective::MinArea { .. });
                 cands.sort_by_key(|t| match t {
                     Transform::Parallelize(a, b) => {
@@ -298,13 +297,17 @@ impl Optimizer {
             MoveSelection::Random { .. } => 1,
         };
 
-        'outer: loop {
+        loop {
             let cands = self.order(rw.design(), self.candidates(rw.design()));
-            let mut improved = false;
+            let mut exhausted = false;
             let mut window: Vec<(Transform, CostReport, (u64, u64, u64))> = Vec::new();
             for t in cands {
                 if evaluations >= self.budget {
-                    break 'outer;
+                    // Stop scanning, but still commit the best improvement
+                    // already found — discarding a non-empty window here
+                    // would waste the evaluations that filled it.
+                    exhausted = true;
+                    break;
                 }
                 let mut trial = rw.design().clone();
                 if t.apply(&mut trial).is_err() {
@@ -320,9 +323,8 @@ impl Optimizer {
                     }
                 }
             }
-            if let Some((t, report, score)) = window
-                .into_iter()
-                .min_by_key(|(_, _, score)| *score)
+            let mut improved = false;
+            if let Some((t, report, score)) = window.into_iter().min_by_key(|(_, _, score)| *score)
             {
                 best = score;
                 rw.apply(t.clone()).expect("trial already applied cleanly");
@@ -332,7 +334,7 @@ impl Optimizer {
                 });
                 improved = true;
             }
-            if !improved {
+            if exhausted || !improved {
                 break;
             }
         }
@@ -372,9 +374,10 @@ mod tests {
     #[test]
     fn min_delay_parallelises() {
         let mut rw = session(SRC);
-        let opt = Optimizer::new(ModuleLibrary::standard(), Objective::MinDelay {
-            max_area: None,
-        });
+        let opt = Optimizer::new(
+            ModuleLibrary::standard(),
+            Objective::MinDelay { max_area: None },
+        );
         let rep = opt.optimize(&mut rw);
         assert!(
             rep.final_report.latency_bound < rep.initial.latency_bound,
@@ -392,9 +395,10 @@ mod tests {
     #[test]
     fn min_area_merges() {
         let mut rw = session(SRC);
-        let opt = Optimizer::new(ModuleLibrary::standard(), Objective::MinArea {
-            max_latency: None,
-        });
+        let opt = Optimizer::new(
+            ModuleLibrary::standard(),
+            Objective::MinArea { max_latency: None },
+        );
         let rep = opt.optimize(&mut rw);
         assert!(
             rep.final_report.total_area < rep.initial.total_area,
@@ -413,9 +417,12 @@ mod tests {
         let mut rw = session(SRC);
         let lib = ModuleLibrary::standard();
         let start_area = cost_report(rw.design(), &lib).total_area;
-        let opt = Optimizer::new(lib, Objective::MinDelay {
-            max_area: Some(start_area),
-        });
+        let opt = Optimizer::new(
+            lib,
+            Objective::MinDelay {
+                max_area: Some(start_area),
+            },
+        );
         let rep = opt.optimize(&mut rw);
         assert!(rep.final_report.total_area <= start_area, "{rep:?}");
     }

@@ -117,7 +117,9 @@ mod tests {
         let lib = ModuleLibrary::standard();
         let res = synthesize(SRC, Objective::Balanced, &lib).unwrap();
         let run = |g: &Etpn| {
-            let env = ScriptedEnv::new().with_stream("a", [3]).with_stream("b", [4]);
+            let env = ScriptedEnv::new()
+                .with_stream("a", [3])
+                .with_stream("b", [4]);
             let mut sim = etpn_sim::Simulator::new(g, env);
             for (name, v) in &res.compiled.reg_inits {
                 sim = sim.init_register(name, *v);

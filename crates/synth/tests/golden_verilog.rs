@@ -1,0 +1,61 @@
+//! Golden-file regression tests for the Verilog backend.
+//!
+//! Each test compiles a catalog workload and compares the emitted Verilog
+//! byte-for-byte against the checked-in file under `tests/golden/`. Run with
+//! `UPDATE_GOLDEN=1` to regenerate the golden files after an intentional
+//! backend change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p etpn-synth --test golden_verilog
+//! ```
+
+use etpn_synth::{compile_source, verilog, ModuleLibrary};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.v"))
+}
+
+fn check_golden(name: &str) {
+    let w = etpn_workloads::catalog()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("workload `{name}` not in catalog"));
+    let d = compile_source(&w.source).unwrap();
+    let emitted = verilog(&d.etpn, &ModuleLibrary::standard(), name);
+
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &emitted).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        emitted == golden,
+        "emitted Verilog for `{name}` differs from {}; \
+         run with UPDATE_GOLDEN=1 if the change is intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn gcd_verilog_matches_golden() {
+    check_golden("gcd");
+}
+
+#[test]
+fn diffeq_verilog_matches_golden() {
+    check_golden("diffeq");
+}
+
+#[test]
+fn fir16_verilog_matches_golden() {
+    check_golden("fir16");
+}

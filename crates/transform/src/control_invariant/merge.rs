@@ -85,9 +85,8 @@ impl VertexMerger {
             // precede all uses of the other on the acyclic skeleton…
             let all_before = |a: &[PlaceId], b: &[PlaceId]| {
                 a.iter().all(|&sa| {
-                    b.iter().all(|&sb| {
-                        sa == sb || (rel.leads_to(sa, sb) && !rel.leads_to(sb, sa))
-                    })
+                    b.iter()
+                        .all(|&sb| sa == sb || (rel.leads_to(sa, sb) && !rel.leads_to(sb, sa)))
                 })
             };
             if !(all_before(&uses_i, &uses_j) || all_before(&uses_j, &uses_i)) {
@@ -198,12 +197,11 @@ mod tests {
             let vx = g.dp.vertex(add2);
             vx.inputs.iter().chain(&vx.outputs).copied().collect()
         };
-        let adjacent = g
-            .dp
-            .arcs()
-            .iter()
-            .filter(|(_, a)| add2_ports.contains(&a.from) || add2_ports.contains(&a.to))
-            .count();
+        let adjacent =
+            g.dp.arcs()
+                .iter()
+                .filter(|(_, a)| add2_ports.contains(&a.from) || add2_ports.contains(&a.to))
+                .count();
         assert_eq!(adjacent, 6);
     }
 

@@ -51,11 +51,10 @@ pub fn split_vertex(
     // Partition the adjacent arcs.
     let mut moving = Vec::new();
     for &p in inputs.iter().chain(&outputs) {
-        for &a in g
-            .dp
-            .incoming_arcs(p)
-            .iter()
-            .chain(g.dp.outgoing_arcs(p).iter())
+        for &a in
+            g.dp.incoming_arcs(p)
+                .iter()
+                .chain(g.dp.outgoing_arcs(p).iter())
         {
             let controllers = g.ctl.controllers_of(a);
             let n_moving = controllers
@@ -73,9 +72,8 @@ pub fn split_vertex(
         }
     }
 
-    let v2 = g
-        .dp
-        .add_unit(format!("{name}_split"), inputs.len(), &out_ops)?;
+    let v2 =
+        g.dp.add_unit(format!("{name}_split"), inputs.len(), &out_ops)?;
     for (a, old_port) in moving {
         let port = g.dp.port(old_port);
         let (dir, index) = (port.dir, port.index as usize);

@@ -201,9 +201,7 @@ impl<'a> Parallelizer<'a> {
                 .ctl
                 .transitions()
                 .iter()
-                .filter(|(_, tr)| {
-                    tr.guards.is_empty() && tr.pre.len() == 1 && tr.post.len() == 1
-                })
+                .filter(|(_, tr)| tr.guards.is_empty() && tr.pre.len() == 1 && tr.post.len() == 1)
                 .map(|(_, tr)| (tr.pre[0], tr.post[0]))
                 .find(|&(sa, sb)| self.check(g, sa, sb).is_ok());
             match pair {

@@ -12,12 +12,7 @@ use etpn_analysis::DataDependence;
 use etpn_core::{Etpn, PlaceId};
 
 /// Swap the order of the adjacent pair `sa → sb` to `sb → sa`.
-pub fn reorder(
-    g: &mut Etpn,
-    dd: &DataDependence,
-    sa: PlaceId,
-    sb: PlaceId,
-) -> TransformResult<()> {
+pub fn reorder(g: &mut Etpn, dd: &DataDependence, sa: PlaceId, sb: PlaceId) -> TransformResult<()> {
     let par = Parallelizer::new(dd);
     // Validate fully before mutating: parallelise checks shape/independence;
     // the subsequent serialise of a fresh fork/join pair cannot fail.

@@ -64,17 +64,16 @@ pub fn form_buses(g: &mut Etpn) -> TransformResult<BusReport> {
     let mut report = BusReport::default();
     // Collect internal sequential→sequential transfer arcs first (the set
     // changes as we splice).
-    let transfers: Vec<ArcId> = g
-        .dp
-        .arcs()
-        .iter()
-        .filter(|&(a, arc)| {
-            !g.dp.is_external_arc(a)
-                && g.dp.is_sequential_vertex(g.dp.port(arc.from).vertex)
-                && g.dp.is_sequential_vertex(g.dp.port(arc.to).vertex)
-        })
-        .map(|(a, _)| a)
-        .collect();
+    let transfers: Vec<ArcId> =
+        g.dp.arcs()
+            .iter()
+            .filter(|&(a, arc)| {
+                !g.dp.is_external_arc(a)
+                    && g.dp.is_sequential_vertex(g.dp.port(arc.from).vertex)
+                    && g.dp.is_sequential_vertex(g.dp.port(arc.to).vertex)
+            })
+            .map(|(a, _)| a)
+            .collect();
     let mut channels: Vec<VertexId> = Vec::new();
     for a in transfers {
         channels.push(reify_transfer(g, a)?);

@@ -28,15 +28,9 @@ use etpn_analysis::DataDependence;
 use etpn_core::{Etpn, PlaceId};
 
 /// Check the chaining preconditions for `sa → t → sb`.
-pub fn check_chain(
-    g: &Etpn,
-    dd: &DataDependence,
-    sa: PlaceId,
-    sb: PlaceId,
-) -> TransformResult<()> {
-    let t = Parallelizer::link_transition(g, sa, sb).ok_or_else(|| {
-        TransformError::ShapeMismatch(format!("no pure link {sa} → t → {sb}"))
-    })?;
+pub fn check_chain(g: &Etpn, dd: &DataDependence, sa: PlaceId, sb: PlaceId) -> TransformResult<()> {
+    let t = Parallelizer::link_transition(g, sa, sb)
+        .ok_or_else(|| TransformError::ShapeMismatch(format!("no pure link {sa} → t → {sb}")))?;
     let _ = t;
     require_independent(dd, sa, sb)?;
     require_disjoint_resources(g, sa, sb)?;
@@ -135,7 +129,11 @@ mod tests {
         let mut g = g0.clone();
         let dd = DataDependence::compute(&g);
         chain(&mut g, &dd, s[1], s[2]).unwrap();
-        let env = || ScriptedEnv::new().with_stream("x", [5]).with_stream("y", [7]);
+        let env = || {
+            ScriptedEnv::new()
+                .with_stream("x", [5])
+                .with_stream("y", [7])
+        };
         let out0 = Simulator::new(&g0, env())
             .run(100)
             .unwrap()
@@ -179,9 +177,6 @@ mod tests {
         let mut g = b.finish().unwrap();
         let dd = DataDependence::compute(&g);
         let err = chain(&mut g, &dd, s[0], s[1]).unwrap_err();
-        assert!(
-            err.to_string().contains("combinational loop"),
-            "{err}"
-        );
+        assert!(err.to_string().contains("combinational loop"), "{err}");
     }
 }

@@ -18,11 +18,7 @@ use std::collections::HashSet;
 /// reading different registers loaded by one earlier state — which
 /// contradicts the paper's own "as much operations in parallel as possible"
 /// programme. See `etpn_analysis::datadep` for both relations.
-pub fn require_independent(
-    dd: &DataDependence,
-    sa: PlaceId,
-    sb: PlaceId,
-) -> TransformResult<()> {
+pub fn require_independent(dd: &DataDependence, sa: PlaceId, sb: PlaceId) -> TransformResult<()> {
     if dd.direct(sa, sb) {
         Err(TransformError::DataDependent(sa, sb))
     } else {

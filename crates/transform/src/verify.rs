@@ -6,17 +6,19 @@
 //! `⇒`-ordering must hold in the other, and vice versa. The oracle
 //! *falsifies* (never proves) semantic equivalence (Def. 4.1) by running
 //! both designs against many random environments, seeds, and firing
-//! policies and comparing external event structures. Runs fan out over
-//! `crossbeam` scoped threads; the first counterexample wins.
+//! policies and comparing external event structures. The whole battery is
+//! submitted as one `etpn-sim` [`Fleet`] batch: runs spread over worker
+//! threads and share the fleet's evaluation memo cache (the policy sweeps
+//! over each environment mostly revisit the same step configurations), and
+//! the counterexample reported is the first in environment order.
 
 use crate::error::TransformResult;
 use etpn_analysis::DataDependence;
 use etpn_core::{ControlRelations, Etpn, PlaceId, Value};
 use etpn_sim::{
-    compare_structures, event_structure, EquivalenceVerdict, FiringPolicy, ScriptedEnv,
-    SimError, Simulator,
+    compare_structures, event_structure, EquivalenceVerdict, FiringPolicy, Fleet, ScriptedEnv,
+    SimError, SimJob,
 };
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -168,86 +170,73 @@ pub fn random_env(g: &Etpn, seed: u64, stream_len: usize, range: (i64, i64)) -> 
 /// arc id, so the caller must ensure external arc ids correspond (both our
 /// transformations preserve arc identities).
 pub fn semantic_oracle(g1: &Etpn, g2: &Etpn, cfg: OracleConfig) -> OracleVerdict {
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
-    } else {
-        cfg.threads
-    };
-    let found: Mutex<Option<OracleVerdict>> = Mutex::new(None);
-    let runs = std::sync::atomic::AtomicU64::new(0);
-    let next_env = std::sync::atomic::AtomicU32::new(0);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                if found.lock().is_some() {
-                    return;
-                }
-                let e = next_env.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if e >= cfg.environments {
-                    return;
-                }
-                let env_seed = u64::from(e) * 0x9E37_79B9 + 12_345;
-                let env1 = random_env(
-                    g1,
-                    env_seed,
-                    cfg.stream_len,
-                    (cfg.value_min, cfg.value_max),
-                );
-                let mut policies = vec![FiringPolicy::MaximalStep];
-                for s in 0..cfg.policy_seeds {
-                    policies.push(FiringPolicy::RandomMaximal { seed: s });
-                    policies.push(FiringPolicy::SingleRandom { seed: s });
-                }
-                // Reference: g1 under the deterministic policy.
-                let t_ref = match Simulator::new(g1, env1.clone()).run(cfg.max_steps) {
-                    Ok(t) => t,
-                    Err(error) => {
-                        *found.lock() = Some(OracleVerdict::SimFailure { env_seed, error });
-                        return;
-                    }
-                };
-                if t_ref.termination == etpn_sim::Termination::StepLimit {
-                    // A truncated run observes an arbitrary prefix; timing
-                    // differences would masquerade as counterexamples.
-                    continue;
-                }
-                let s_ref = event_structure(g1, &t_ref);
-                for policy in policies {
-                    let t2 = match Simulator::new(g2, env1.clone())
-                        .with_policy(policy)
-                        .run(cfg.max_steps)
-                    {
-                        Ok(t) => t,
-                        Err(error) => {
-                            *found.lock() =
-                                Some(OracleVerdict::SimFailure { env_seed, error });
-                            return;
-                        }
-                    };
-                    let s2 = event_structure(g2, &t2);
-                    runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if let EquivalenceVerdict::Different(difference) =
-                        compare_structures(&s_ref, &s2)
-                    {
-                        *found.lock() = Some(OracleVerdict::Counterexample {
-                            env_seed,
-                            difference,
-                        });
-                        return;
-                    }
-                }
-            });
-        }
-    })
-    .expect("oracle worker panicked");
-
-    match found.into_inner() {
-        Some(v) => v,
-        None => OracleVerdict::NoCounterexample {
-            runs: runs.into_inner(),
-        },
+    let mut policies = vec![FiringPolicy::MaximalStep];
+    for s in 0..cfg.policy_seeds {
+        policies.push(FiringPolicy::RandomMaximal { seed: s });
+        policies.push(FiringPolicy::SingleRandom { seed: s });
     }
+    let env_seeds: Vec<u64> = (0..cfg.environments)
+        .map(|e| u64::from(e) * 0x9E37_79B9 + 12_345)
+        .collect();
+
+    // One batch: per environment, the g1 reference run followed by the full
+    // policy battery on g2.
+    let per_env = 1 + policies.len();
+    let mut jobs: Vec<SimJob> = Vec::with_capacity(env_seeds.len() * per_env);
+    for &env_seed in &env_seeds {
+        let env = random_env(g1, env_seed, cfg.stream_len, (cfg.value_min, cfg.value_max));
+        jobs.push(SimJob::new(g1, env.clone()).max_steps(cfg.max_steps));
+        for &policy in &policies {
+            jobs.push(
+                SimJob::new(g2, env.clone())
+                    .with_policy(policy)
+                    .max_steps(cfg.max_steps),
+            );
+        }
+    }
+    let batch = Fleet::new(cfg.threads).run_batch(jobs);
+
+    let mut runs = 0u64;
+    let mut results = batch.results.into_iter();
+    for &env_seed in &env_seeds {
+        let chunk: Vec<Result<etpn_sim::Trace, SimError>> =
+            results.by_ref().take(per_env).collect();
+        let t_ref = match &chunk[0] {
+            Ok(t) => t,
+            Err(error) => {
+                return OracleVerdict::SimFailure {
+                    env_seed,
+                    error: error.clone(),
+                }
+            }
+        };
+        if t_ref.termination == etpn_sim::Termination::StepLimit {
+            // A truncated run observes an arbitrary prefix; timing
+            // differences would masquerade as counterexamples.
+            continue;
+        }
+        let s_ref = event_structure(g1, t_ref);
+        for t2 in &chunk[1..] {
+            let t2 = match t2 {
+                Ok(t) => t,
+                Err(error) => {
+                    return OracleVerdict::SimFailure {
+                        env_seed,
+                        error: error.clone(),
+                    }
+                }
+            };
+            let s2 = event_structure(g2, t2);
+            runs += 1;
+            if let EquivalenceVerdict::Different(difference) = compare_structures(&s_ref, &s2) {
+                return OracleVerdict::Counterexample {
+                    env_seed,
+                    difference,
+                };
+            }
+        }
+    }
+    OracleVerdict::NoCounterexample { runs }
 }
 
 /// Convenience: apply a transformation function to a clone and verify both

@@ -52,7 +52,13 @@ pub fn source() -> String {
         .map(|i| format!("sv{i} = 0"))
         .chain((0..8).map(|i| format!("t{i}")))
         .chain((0..8).map(|i| format!("m{i}")))
-        .chain(["s".into(), "acc".into(), "o1".into(), "o2".into(), "o3".into()])
+        .chain([
+            "s".into(),
+            "acc".into(),
+            "o1".into(),
+            "o2".into(),
+            "o3".into(),
+        ])
         .chain(["i = 0".into(), "cnt".into()])
         .collect();
 
@@ -75,10 +81,7 @@ pub fn workload() -> Workload {
     Workload {
         name: "ewf",
         source: source(),
-        inputs: vec![
-            ("x".into(), vec![5, -3, 8, 1]),
-            ("n".into(), vec![4]),
-        ],
+        inputs: vec![("x".into(), vec![5, -3, 8, 1]), ("n".into(), vec![4])],
         max_steps: 20_000,
     }
 }

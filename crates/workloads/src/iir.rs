@@ -30,7 +30,10 @@ pub fn source() -> String {
         };
         let _ = writeln!(body, "            t{k}a = {b0} * {x} + {b1} * x1_{k};");
         let _ = writeln!(body, "            t{k}b = {b2} * x2_{k} - {a1} * y1_{k};");
-        let _ = writeln!(body, "            sec{k}out = t{k}a + t{k}b - {a2} * y2_{k};");
+        let _ = writeln!(
+            body,
+            "            sec{k}out = t{k}a + t{k}b - {a2} * y2_{k};"
+        );
         let _ = writeln!(body, "            x2_{k} = x1_{k};");
         let _ = writeln!(body, "            x1_{k} = {x};");
         let _ = writeln!(body, "            y2_{k} = y1_{k};");

@@ -43,17 +43,15 @@ pub fn random_program(seed: u64, shape: ProgramShape) -> Program {
     let mut emitted = 0usize;
     let mut next_reg = 0usize;
     while emitted < shape.assignments {
-        let group = if rng.gen_range(0..100) < shape.par_percent && emitted + 2 <= shape.assignments
-        {
-            rng.gen_range(2..=3.min(shape.assignments - emitted))
-        } else {
-            1
-        };
+        let group =
+            if rng.gen_range(0..100u32) < shape.par_percent && emitted + 2 <= shape.assignments {
+                rng.gen_range(2..=3.min(shape.assignments - emitted))
+            } else {
+                1
+            };
         // Target registers: round-robin guarantees par branches write
         // disjoint registers.
-        let targets: Vec<usize> = (0..group)
-            .map(|j| (next_reg + j) % nregs)
-            .collect();
+        let targets: Vec<usize> = (0..group).map(|j| (next_reg + j) % nregs).collect();
         next_reg += group;
         // Reads must avoid the group's targets: a parallel branch reading a
         // register another branch writes would race (the states would be
@@ -69,8 +67,7 @@ pub fn random_program(seed: u64, shape: ProgramShape) -> Program {
             emitted += 1;
         }
         if stmts.len() > 1 {
-            let branches: Vec<String> =
-                stmts.iter().map(|s| format!("{{ {s} }}")).collect();
+            let branches: Vec<String> = stmts.iter().map(|s| format!("{{ {s} }}")).collect();
             let _ = writeln!(body, "        par {{ {} }}", branches.join(" "));
         } else {
             let _ = writeln!(body, "        {}", stmts[0]);

@@ -15,13 +15,16 @@ fn main() {
     let lib = ModuleLibrary::standard();
 
     // Anchor the sweep: fully parallel latency vs serial latency.
-    let fast = synthesize(&w.source, Objective::MinDelay { max_area: None }, &lib)
-        .expect("min-delay run");
+    let fast =
+        synthesize(&w.source, Objective::MinDelay { max_area: None }, &lib).expect("min-delay run");
     let l_fast = fast.final_cost.latency_bound;
     let l_serial = fast.initial_cost.latency_bound;
     println!("latency range: {l_fast} (parallel) … {l_serial} (serial)\n");
 
-    println!("{:>8} {:>9} {:>7} {:>7} {:>7}", "cap", "latency", "area", "units", "moves");
+    println!(
+        "{:>8} {:>9} {:>7} {:>7} {:>7}",
+        "cap", "latency", "area", "units", "moves"
+    );
     let points = 7u64;
     let span = l_serial.saturating_sub(l_fast).max(1);
     let mut front: Vec<(u64, u64)> = Vec::new();

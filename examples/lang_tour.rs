@@ -59,5 +59,8 @@ fn main() {
     assert_eq!(got, expected["y"]);
 
     // Graphviz output for both sub-models.
-    println!("--- control.dot ---\n{}", etpn::core::dot::control_dot(&d.etpn));
+    println!(
+        "--- control.dot ---\n{}",
+        etpn::core::dot::control_dot(&d.etpn)
+    );
 }

@@ -41,7 +41,9 @@ fn main() {
     assert!(report.is_proper());
 
     // Execution (Def. 3.1): the environment supplies one value per input.
-    let env = ScriptedEnv::new().with_stream("a", [3]).with_stream("b", [4]);
+    let env = ScriptedEnv::new()
+        .with_stream("a", [3])
+        .with_stream("b", [4]);
     let trace = Simulator::new(&gamma, env).run(16).expect("runs clean");
     println!(
         "terminated in {} steps with {} external events",
@@ -62,5 +64,8 @@ fn main() {
     assert_eq!(outputs, vec![7]);
 
     // The same design, rendered for graphviz.
-    println!("\n--- datapath.dot ---\n{}", etpn::core::dot::datapath_dot(&gamma));
+    println!(
+        "\n--- datapath.dot ---\n{}",
+        etpn::core::dot::datapath_dot(&gamma)
+    );
 }

@@ -17,6 +17,10 @@
 //!   --steps N                                 (budget, default 100000)
 //!   --vcd FILE                                (dump register waveforms)
 //!   --coverage                                (state/transition coverage)
+//!   --jobs N                                  (batch a policy battery over N
+//!                                              fleet workers, report cache
+//!                                              stats and policy invariance)
+//!   --seeds K                                 (battery seeds, default 4)
 //! ```
 
 use etpn::analysis::proper::check_properly_designed;
@@ -68,7 +72,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     let (_, src) = read_source(args)?;
     let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
     let (v, p, a, s, t) = d.etpn.size();
-    println!("design `{}`: {v} vertices, {p} ports, {a} arcs, {s} states, {t} transitions", d.name);
+    println!(
+        "design `{}`: {v} vertices, {p} ports, {a} arcs, {s} states, {t} transitions",
+        d.name
+    );
     let report = check_properly_designed(&d.etpn);
     print!("{}", report.summary());
     if report.is_proper() {
@@ -113,7 +120,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         Ok(())
     };
     write("netlist.txt", &res.netlist)?;
-    write("v", &etpn::synth::verilog(&res.optimized, &lib, &res.compiled.name))?;
+    write(
+        "v",
+        &etpn::synth::verilog(&res.optimized, &lib, &res.compiled.name),
+    )?;
     write("binding.txt", &res.binding.render())?;
     write("datapath.dot", &dot::datapath_dot(&res.optimized))?;
     write("control.dot", &dot::control_dot(&res.optimized))?;
@@ -145,9 +155,7 @@ fn parse_streams(args: &[String]) -> Result<Vec<(String, Vec<i64>)>, String> {
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--set" {
-            let spec = args
-                .get(i + 1)
-                .ok_or("--set needs NAME=v1,v2,…")?;
+            let spec = args.get(i + 1).ok_or("--set needs NAME=v1,v2,…")?;
             let (name, values) = spec
                 .split_once('=')
                 .ok_or_else(|| format!("bad --set `{spec}`"))?;
@@ -186,6 +194,15 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<(), String> {
     for (name, values) in &streams {
         env = env.with_stream(name, values.iter().copied());
     }
+    let jobs: Option<usize> = flag_value(args, "--jobs")
+        .map(|v| v.parse().map_err(|e| format!("--jobs: {e}")))
+        .transpose()?;
+    if let Some(workers) = jobs {
+        if flag_value(args, "--vcd").is_some() {
+            return Err("--jobs batches don't capture waveforms; drop --vcd".into());
+        }
+        return run_fleet_battery(args, &d, env, steps, workers);
+    }
     let mut sim = Simulator::new(&d.etpn, env);
     for (name, v) in &d.reg_inits {
         sim = sim.init_register(name, *v);
@@ -196,8 +213,7 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<(), String> {
     }
     let trace = sim.run(steps).map_err(|e| e.to_string())?;
     if let Some(path) = vcd_path {
-        let vcd = etpn::sim::vcd::render(&d.etpn, &trace)
-            .ok_or("nothing captured for the VCD")?;
+        let vcd = etpn::sim::vcd::render(&d.etpn, &trace).ok_or("nothing captured for the VCD")?;
         std::fs::write(path, vcd).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
@@ -224,6 +240,99 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<(), String> {
         println!("{name} = {:?}", trace.values_on_named_output(&d.etpn, name));
     }
     Ok(())
+}
+
+/// `run --jobs N`: batch the deterministic policy plus seeded sweeps of both
+/// randomized policies through a fleet of N workers, check every sweep
+/// against the deterministic reference (policy invariance), and report the
+/// shared-cache statistics.
+fn run_fleet_battery(
+    args: &[String],
+    d: &etpn::synth::CompiledDesign,
+    env: ScriptedEnv,
+    steps: u64,
+    workers: usize,
+) -> Result<(), String> {
+    use etpn::sim::{compare_structures, event_structure, FiringPolicy, Fleet, SimJob};
+
+    let seeds: u64 = flag_value(args, "--seeds")
+        .map(|v| v.parse().map_err(|e| format!("--seeds: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let mut policies = vec![FiringPolicy::MaximalStep];
+    for seed in 0..seeds {
+        policies.push(FiringPolicy::RandomMaximal { seed });
+        policies.push(FiringPolicy::SingleRandom { seed });
+    }
+    let jobs: Vec<SimJob> = policies
+        .iter()
+        .map(|&policy| {
+            let mut job = SimJob::new(&d.etpn, env.clone())
+                .with_policy(policy)
+                .max_steps(steps);
+            for (name, v) in &d.reg_inits {
+                job = job.init_register(name, *v);
+            }
+            job
+        })
+        .collect();
+
+    let fleet = Fleet::new(workers);
+    let batch = fleet.run_batch(jobs);
+    let mut results = batch.results.into_iter();
+    let reference = results
+        .next()
+        .expect("battery is non-empty")
+        .map_err(|e| e.to_string())?;
+    let ref_structure = event_structure(&d.etpn, &reference);
+    let mut divergent = 0usize;
+    for (policy, result) in policies[1..].iter().zip(results) {
+        let trace = result.map_err(|e| e.to_string())?;
+        let verdict = compare_structures(&ref_structure, &event_structure(&d.etpn, &trace));
+        if let etpn::sim::EquivalenceVerdict::Different(diff) = verdict {
+            divergent += 1;
+            println!("policy {policy:?} diverges from MaximalStep: {diff}");
+        }
+    }
+    let stats = &batch.stats;
+    println!(
+        "fleet: {} jobs on {} workers ({} stolen); cache {} hits / {} misses ({:.1}% hit rate), {} evictions",
+        stats.jobs,
+        stats.workers,
+        stats.stolen,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate() * 100.0,
+        stats.cache.evictions,
+    );
+    if args.iter().any(|a| a == "--coverage") {
+        let cov = etpn::sim::coverage(&d.etpn, &reference);
+        let (ps, ts) = cov.percentages();
+        println!("coverage: {ps:.0}% states, {ts:.0}% transitions");
+    }
+    println!(
+        "{:?} after {} steps, {} firings, {} external events",
+        reference.termination,
+        reference.steps,
+        reference.firings,
+        reference.event_count()
+    );
+    for v in d.etpn.dp.output_vertices() {
+        let name = &d.etpn.dp.vertex(v).name;
+        println!(
+            "{name} = {:?}",
+            reference.values_on_named_output(&d.etpn, name)
+        );
+    }
+    if divergent == 0 {
+        println!(
+            "all {} policies agree with the deterministic reference",
+            policies.len() - 1
+        );
+        Ok(())
+    } else {
+        Err(format!("{divergent} policies diverged"))
+    }
 }
 
 fn cmd_dot(args: &[String]) -> Result<(), String> {

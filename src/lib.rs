@@ -87,9 +87,7 @@ pub mod prelude {
         builder::EtpnBuilder, control::Control, datapath::DataPath, etpn::Etpn, op::Op,
         value::Value,
     };
-    pub use etpn_sim::{
-        engine::Simulator, env::ScriptedEnv, policy::FiringPolicy, trace::Trace,
-    };
+    pub use etpn_sim::{engine::Simulator, env::ScriptedEnv, policy::FiringPolicy, trace::Trace};
     pub use etpn_synth::{
         module_lib::ModuleLibrary,
         optimizer::{Objective, Optimizer},

@@ -41,7 +41,12 @@ fn mixed_sequences_preserve_outputs_on_all_workloads() {
             );
             // The transformed design stays properly designed.
             let report = etpn_analysis::check_properly_designed(&g2);
-            assert!(report.is_proper(), "{} seed {seed}: {}", w.name, report.summary());
+            assert!(
+                report.is_proper(),
+                "{} seed {seed}: {}",
+                w.name,
+                report.summary()
+            );
         }
     }
 }

@@ -10,12 +10,18 @@ use etpn_sim::{Simulator, Termination};
 use etpn_synth::{synthesize, ModuleLibrary, Objective};
 use etpn_workloads::{catalog, Workload};
 
-fn simulate_outputs(w: &Workload, g: &Etpn, reg_inits: &[(String, i64)]) -> Vec<(String, Vec<i64>)> {
+fn simulate_outputs(
+    w: &Workload,
+    g: &Etpn,
+    reg_inits: &[(String, i64)],
+) -> Vec<(String, Vec<i64>)> {
     let mut sim = Simulator::new(g, w.env());
     for (name, v) in reg_inits {
         sim = sim.init_register(name, *v);
     }
-    let trace = sim.run(w.max_steps).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let trace = sim
+        .run(w.max_steps)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     assert_eq!(
         trace.termination,
         Termination::Terminated,
@@ -63,11 +69,9 @@ fn optimized_designs_still_match_interpreter() {
             Objective::MinArea { max_latency: None },
             Objective::Balanced,
         ] {
-            let res = synthesize(&w.source, objective, &lib).unwrap_or_else(|e| {
-                panic!("{} under {objective:?}: {e}", w.name)
-            });
-            for (name, values) in simulate_outputs(&w, &res.optimized, &res.compiled.reg_inits)
-            {
+            let res = synthesize(&w.source, objective, &lib)
+                .unwrap_or_else(|e| panic!("{} under {objective:?}: {e}", w.name));
+            for (name, values) in simulate_outputs(&w, &res.optimized, &res.compiled.reg_inits) {
                 assert_eq!(
                     values, expected[&name],
                     "{} under {objective:?}: output `{name}` changed",

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmarking harness exposing the subset of the
+//! criterion 0.5 API the workspace's `benches/` use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `bench_with_input`
+//! / `finish`, `Bencher::{iter, iter_batched}`, `BatchSize`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple: each benchmark is auto-calibrated to
+//! ~10 ms per sample, `sample_size` samples are collected, and the median /
+//! min / max per-iteration times are printed. When invoked with `--test`
+//! (as `cargo test` does for `harness = false` targets) every routine runs
+//! exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How setup outputs are batched in [`Bencher::iter_batched`]; this harness
+/// always runs one setup per routine call, so the variants only document
+/// intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark (`function_name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher {
+    mode: Mode,
+    /// Captured per-iteration sample durations (ns), one per sample.
+    samples_ns: Vec<f64>,
+    sample_count: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Measure,
+    SmokeTest,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::SmokeTest {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the batch until one batch takes >= 10 ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(10) || batch >= 1 << 20 {
+                self.samples_ns.push(dt.as_nanos() as f64 / batch as f64);
+                break;
+            }
+            batch *= 4;
+        }
+        for _ in 1..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode == Mode::SmokeTest {
+            black_box(routine(setup()));
+            return;
+        }
+        // Accumulate timed spans over enough calls to reach ~10 ms.
+        for _ in 0..self.sample_count {
+            let mut spent = Duration::ZERO;
+            let mut iters = 0u64;
+            while spent < Duration::from_millis(10) && iters < 1 << 16 {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                spent += t0.elapsed();
+                iters += 1;
+            }
+            self.samples_ns.push(spent.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<N, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mode = self.criterion.mode;
+        let mut b = Bencher {
+            mode,
+            samples_ns: Vec::new(),
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        report(&full, mode, &mut b.samples_ns);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<N, I, F>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (upstream renders plots here; this harness needs no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, mode: Mode, samples_ns: &mut [f64]) {
+    match mode {
+        Mode::SmokeTest => println!("bench {name}: ok (smoke test)"),
+        Mode::Measure => {
+            if samples_ns.is_empty() {
+                println!("bench {name}: no samples");
+                return;
+            }
+            samples_ns.sort_by(|a, b| a.total_cmp(b));
+            let median = samples_ns[samples_ns.len() / 2];
+            let lo = samples_ns[0];
+            let hi = samples_ns[samples_ns.len() - 1];
+            println!(
+                "bench {name}: {} [{} .. {}] ({} samples)",
+                format_ns(median),
+                format_ns(lo),
+                format_ns(hi),
+                samples_ns.len()
+            );
+        }
+    }
+}
+
+/// Benchmark driver; collects groups and prints results to stdout.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness = false bench targets with `--test`;
+        // run each routine once so benches stay cheap smoke tests there.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if smoke {
+                Mode::SmokeTest
+            } else {
+                Mode::Measure
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<N, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mode = self.mode;
+        let mut group = BenchmarkGroup {
+            name: "bench".to_string(),
+            sample_size: 20,
+            criterion: self,
+        };
+        group.bench_function(id, f);
+        let _ = mode;
+        self
+    }
+}
+
+/// Bundle benchmark functions into a single group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("closure", 32).to_string(), "closure/32");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode::SmokeTest,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0;
+        group.bench_function("one", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("spin", |b| b.iter(|| std::hint::black_box(2u64 + 2)));
+        group.finish();
+    }
+}
