@@ -109,12 +109,17 @@ impl ProperReport {
 
 /// Run all five checks with the given reachability budget.
 pub fn check_properly_designed_with(g: &Etpn, max_states: usize) -> ProperReport {
+    let _span = etpn_obs::span("analysis.proper");
     // The acyclic skeleton models same-activation concurrency: inside a
     // loop the plain `⇒` would relate every body pair and make this check
     // vacuous (see `ControlRelations::compute_acyclic`).
-    let rel = ControlRelations::compute_acyclic(&g.ctl);
+    let rel = {
+        let _span = etpn_obs::span("analysis.relations");
+        ControlRelations::compute_acyclic(&g.ctl)
+    };
 
     // (1) disjoint ASS for parallel states.
+    let ass_span = etpn_obs::span("analysis.ass_overlap");
     let mut shared_resources = Vec::new();
     let places: Vec<PlaceId> = g.ctl.places().ids().collect();
     let ass_v: Vec<HashSet<VertexId>> = places
@@ -142,17 +147,27 @@ pub fn check_properly_designed_with(g: &Etpn, max_states: usize) -> ProperReport
             }
         }
     }
+    drop(ass_span);
 
     // (2) safeness.
-    let safety = match is_safe(&g.ctl, max_states) {
-        Some(true) => SafetyVerdict::Safe,
-        Some(false) => SafetyVerdict::Unsafe,
-        None => SafetyVerdict::Unknown,
+    let safety = {
+        let _span = etpn_obs::span("analysis.safeness");
+        match is_safe(&g.ctl, max_states) {
+            Some(true) => SafetyVerdict::Safe,
+            Some(false) => SafetyVerdict::Unsafe,
+            None => SafetyVerdict::Unknown,
+        }
     };
 
     // (3) conflicts, (4) combinational loops.
-    let conflicts = check_conflicts(g);
-    let comb_loops = find_all_comb_loops(g);
+    let conflicts = {
+        let _span = etpn_obs::span("analysis.conflicts");
+        check_conflicts(g)
+    };
+    let comb_loops = {
+        let _span = etpn_obs::span("analysis.comb_loops");
+        find_all_comb_loops(g)
+    };
 
     // (5) sequential vertex per working state.
     let mut no_sequential = Vec::new();

@@ -4,6 +4,7 @@
 //! `experiments` binary, the Criterion benches, and the harness tests.
 
 pub mod e10_determinism;
+pub mod e11_obs;
 pub mod e1_e2_equivalence;
 pub mod e3_parallelize;
 pub mod e4_pareto;
@@ -48,6 +49,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e9_throughput::run(scale),
         e9_throughput::run_fleet(scale),
         e10_determinism::run(scale),
+        e11_obs::run(scale),
     ]
 }
 
@@ -65,6 +67,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "E9" => e9_throughput::run(scale),
         "E9B" => e9_throughput::run_fleet(scale),
         "E10" => e10_determinism::run(scale),
+        "E11" => e11_obs::run(scale),
         _ => return None,
     })
 }

@@ -63,17 +63,74 @@ pub fn datapath_dot(g: &Etpn) -> String {
 
 /// Render the control Petri net as a DOT digraph.
 pub fn control_dot(g: &Etpn) -> String {
+    control_dot_with(g, None)
+}
+
+/// Execution heat for [`control_dot_heat`]: per-place activation counts and
+/// per-transition firing counts, raw-id indexed (as a simulator trace
+/// records them). Missing ids count as zero.
+pub struct ControlHeat<'a> {
+    /// Activation (exit) count per control state.
+    pub exit_counts: &'a [u64],
+    /// Firing count per transition.
+    pub fire_counts: &'a [u64],
+}
+
+/// Render the control net with execution heat: each place is annotated with
+/// its activation count and each transition with its firing count, and the
+/// fill colour is graded from cold (white / black) to hot (deep red) on a
+/// log scale relative to the hottest node.
+pub fn control_dot_heat(g: &Etpn, heat: &ControlHeat<'_>) -> String {
+    control_dot_with(g, Some(heat))
+}
+
+/// Map a count onto a 9-step white→red ramp, log-scaled so that a tight
+/// inner loop does not wash out every other node.
+fn heat_color(count: u64, max: u64) -> String {
+    if count == 0 || max == 0 {
+        return "white".into();
+    }
+    // 1 + 8·log(count)/log(max), i.e. equal counts map to the hot end.
+    let step = if max == 1 {
+        9
+    } else {
+        let ratio = (count as f64).ln() / (max as f64).ln();
+        1 + (ratio * 8.0).round() as u32
+    };
+    format!("\"/reds9/{}\"", step.clamp(1, 9))
+}
+
+fn control_dot_with(g: &Etpn, heat: Option<&ControlHeat<'_>>) -> String {
+    let max_exit = heat
+        .map(|h| h.exit_counts.iter().copied().max().unwrap_or(0))
+        .unwrap_or(0);
+    let max_fire = heat
+        .map(|h| h.fire_counts.iter().copied().max().unwrap_or(0))
+        .unwrap_or(0);
     let mut s = String::new();
     let _ = writeln!(s, "digraph control {{");
     let _ = writeln!(s, "  rankdir=TB; node [fontsize=10];");
     for (p, place) in g.ctl.places().iter() {
-        let fill = if place.marked0 { "gray70" } else { "white" };
         let marked = if place.marked0 { " ●" } else { "" };
-        let _ = writeln!(
-            s,
-            "  {p} [label=\"{}{marked}\", shape=circle, style=filled, fillcolor={fill}];",
-            place.name
-        );
+        match heat {
+            None => {
+                let fill = if place.marked0 { "gray70" } else { "white" };
+                let _ = writeln!(
+                    s,
+                    "  {p} [label=\"{}{marked}\", shape=circle, style=filled, fillcolor={fill}];",
+                    place.name
+                );
+            }
+            Some(h) => {
+                let count = h.exit_counts.get(p.idx()).copied().unwrap_or(0);
+                let fill = heat_color(count, max_exit);
+                let _ = writeln!(
+                    s,
+                    "  {p} [label=\"{}{marked}\\n{count}\", shape=circle, style=filled, fillcolor={fill}];",
+                    place.name
+                );
+            }
+        }
     }
     for (t, trans) in g.ctl.transitions().iter() {
         let guards: Vec<String> = trans.guards.iter().map(|g| g.to_string()).collect();
@@ -82,11 +139,28 @@ pub fn control_dot(g: &Etpn) -> String {
         } else {
             format!("\\n[{}]", guards.join("|"))
         };
-        let _ = writeln!(
-            s,
-            "  {t} [label=\"{}{glabel}\", shape=box, height=0.2, style=filled, fillcolor=black, fontcolor=white];",
-            trans.name
-        );
+        match heat {
+            None => {
+                let _ = writeln!(
+                    s,
+                    "  {t} [label=\"{}{glabel}\", shape=box, height=0.2, style=filled, fillcolor=black, fontcolor=white];",
+                    trans.name
+                );
+            }
+            Some(h) => {
+                let count = h.fire_counts.get(t.idx()).copied().unwrap_or(0);
+                let (fill, font) = if count == 0 {
+                    ("black".into(), "white")
+                } else {
+                    (heat_color(count, max_fire), "black")
+                };
+                let _ = writeln!(
+                    s,
+                    "  {t} [label=\"{}{glabel}\\n{count}\", shape=box, height=0.2, style=filled, fillcolor={fill}, fontcolor={font}];",
+                    trans.name
+                );
+            }
+        }
         for &pre in &trans.pre {
             let _ = writeln!(s, "  {pre} -> {t};");
         }
@@ -139,5 +213,32 @@ mod tests {
         assert!(dot.contains("shape=circle"));
         assert!(dot.contains("shape=box"));
         assert!(dot.contains('['), "guard label rendered");
+    }
+
+    #[test]
+    fn heat_dot_grades_and_annotates_counts() {
+        let g = small();
+        let heat = ControlHeat {
+            exit_counts: &[10, 1],
+            fire_counts: &[7],
+        };
+        let dot = control_dot_heat(&g, &heat);
+        assert!(dot.contains("\\n10"), "hot place count shown:\n{dot}");
+        assert!(dot.contains("\\n7"), "transition count shown:\n{dot}");
+        assert!(dot.contains("/reds9/9"), "hottest node is deep red:\n{dot}");
+        // A count of 1 against a max of 10 sits at the cold end of the ramp.
+        assert!(dot.contains("/reds9/1"), "cold place graded low:\n{dot}");
+    }
+
+    #[test]
+    fn heat_dot_with_no_activity_stays_white() {
+        let g = small();
+        let heat = ControlHeat {
+            exit_counts: &[],
+            fire_counts: &[],
+        };
+        let dot = control_dot_heat(&g, &heat);
+        assert!(dot.contains("fillcolor=white"));
+        assert!(dot.contains("\\n0"), "zero counts still annotated");
     }
 }

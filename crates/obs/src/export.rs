@@ -1,0 +1,259 @@
+//! Exporters: Chrome `trace_event` JSON and flat stats dumps.
+//!
+//! The Chrome exporter emits the JSON Object Format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): an object
+//! with a `traceEvents` array of complete (`"ph":"X"`) span events plus
+//! counter (`"ph":"C"`) samples. Timestamps are integer microseconds from
+//! the registry epoch — integers keep the emitted document inside the
+//! workspace's own float-free JSON dialect, so traces can be validated by
+//! `etpn_core::json::parse` in tests and CI.
+
+use crate::registry::Registry;
+use std::fmt::Write;
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn cat_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or("misc")
+}
+
+/// Render the registry's recorded spans and counter samples as Chrome
+/// `trace_event` JSON. Call [`crate::flush_thread`] first so the calling
+/// thread's buffered spans are included.
+pub fn chrome_trace(reg: &Registry) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("{\n\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push_event = |ev: String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+        out.push_str(&ev);
+    };
+
+    push_event(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"etpn\"}}"
+            .to_string(),
+    );
+
+    for s in reg.spans() {
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, \
+             \"tid\": {}, \"ts\": {}, \"dur\": {}",
+            s.name,
+            cat_of(s.name),
+            s.tid,
+            s.start_ns / 1_000,
+            s.dur_ns / 1_000,
+        );
+        let _ = write!(ev, ", \"args\": {{\"ns\": {}", s.dur_ns);
+        if let Some((k, v)) = s.arg {
+            let _ = write!(ev, ", \"{k}\": {v}");
+        }
+        ev.push_str("}}");
+        push_event(ev);
+    }
+
+    for c in reg.samples() {
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"C\", \"pid\": 1, \
+             \"tid\": {}, \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+            c.name,
+            cat_of(c.name),
+            c.tid,
+            c.at_ns / 1_000,
+            c.value,
+        );
+        push_event(ev);
+    }
+
+    out.push_str(
+        "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"generator\": \"etpn-obs\"}\n}\n",
+    );
+    out
+}
+
+/// Render every metric as an aligned, human-readable text block.
+///
+/// For each counter pair `<prefix>.hits` / `<prefix>.misses` a derived
+/// `<prefix>.hit_rate` line is appended, so cache effectiveness reads off
+/// directly.
+pub fn stats_text(reg: &Registry) -> String {
+    let counters = reg.counter_values();
+    let gauges = reg.gauge_values();
+    let histograms = reg.histogram_values();
+    let mut out = String::new();
+
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        let width = counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in &counters {
+            let _ = writeln!(out, "  {k:<width$}  {v}");
+        }
+        for (k, hits) in &counters {
+            let Some(prefix) = k.strip_suffix(".hits") else {
+                continue;
+            };
+            let misses = counters
+                .iter()
+                .find(|(n, _)| n == &format!("{prefix}.misses"))
+                .map(|(_, m)| *m);
+            if let Some(misses) = misses {
+                let lookups = hits + misses;
+                let rate = if lookups == 0 {
+                    0.0
+                } else {
+                    *hits as f64 / lookups as f64 * 100.0
+                };
+                let name = format!("{prefix}.hit_rate");
+                let _ = writeln!(out, "  {name:<width$}  {rate:.1}%");
+            }
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        let width = gauges.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in &gauges {
+            let _ = writeln!(out, "  {k:<width$}  {v}");
+        }
+    }
+    if !histograms.is_empty() {
+        out.push_str("histograms:\n");
+        let width = histograms.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, h) in &histograms {
+            let _ = writeln!(
+                out,
+                "  {k:<width$}  count {}  mean {:.1}  p50 ≤{}  p99 ≤{}  max {}",
+                h.count,
+                h.mean(),
+                h.quantile_bound(0.5),
+                h.quantile_bound(0.99),
+                h.max
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+/// Render every metric as a flat JSON object (integer-only values, parseable
+/// by `etpn_core::json`).
+pub fn stats_json(reg: &Registry) -> String {
+    let mut out = String::from("{\n\"counters\": {");
+    let counters = reg.counter_values();
+    for (i, (k, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  \"");
+        esc(&mut out, k);
+        let _ = write!(out, "\": {v}");
+    }
+    out.push_str("\n},\n\"gauges\": {");
+    let gauges = reg.gauge_values();
+    for (i, (k, v)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  \"");
+        esc(&mut out, k);
+        let _ = write!(out, "\": {v}");
+    }
+    out.push_str("\n},\n\"histograms\": {");
+    let histograms = reg.histogram_values();
+    for (i, (k, h)) in histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  \"");
+        esc(&mut out, k);
+        let _ = write!(
+            out,
+            "\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}}}",
+            h.count,
+            h.sum,
+            h.max,
+            h.quantile_bound(0.5),
+            h.quantile_bound(0.99)
+        );
+    }
+    out.push_str("\n}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{CounterSample, SpanEvent};
+
+    fn seeded_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("sim.cache.hits").add(9);
+        r.counter("sim.cache.misses").add(1);
+        r.gauge("fleet.workers").set(4);
+        r.histogram("sim.step.ns").record(1500);
+        r.record_spans([SpanEvent {
+            name: "sim.run",
+            tid: 3,
+            start_ns: 2_000,
+            dur_ns: 5_000,
+            arg: Some(("steps", 12)),
+        }]);
+        r.record_sample(CounterSample {
+            name: "opt.cost",
+            tid: 3,
+            at_ns: 4_000,
+            value: 77,
+        });
+        r
+    }
+
+    #[test]
+    fn chrome_trace_contains_span_and_counter_events() {
+        let t = chrome_trace(&seeded_registry());
+        assert!(t.contains("\"traceEvents\""));
+        assert!(t.contains("\"name\": \"sim.run\""));
+        assert!(t.contains("\"ph\": \"X\""));
+        assert!(t.contains("\"ph\": \"C\""));
+        assert!(t.contains("\"steps\": 12"));
+        assert!(t.contains("\"cat\": \"sim\""));
+    }
+
+    #[test]
+    fn stats_text_derives_hit_rate() {
+        let s = stats_text(&seeded_registry());
+        assert!(s.contains("sim.cache.hits"), "{s}");
+        assert!(s.contains("sim.cache.hit_rate"), "{s}");
+        assert!(s.contains("90.0%"), "{s}");
+        assert!(s.contains("fleet.workers"), "{s}");
+        assert!(s.contains("count 1"), "{s}");
+    }
+
+    #[test]
+    fn stats_json_is_integer_only() {
+        let s = stats_json(&seeded_registry());
+        assert!(s.contains("\"sim.cache.hits\": 9"), "{s}");
+        assert!(!s.contains('.') || !s.contains("e-"), "{s}");
+    }
+}

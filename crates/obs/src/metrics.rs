@@ -1,0 +1,212 @@
+//! Metric primitives: counters, gauges and histograms behind cheap
+//! atomic handles.
+//!
+//! Handles are `Clone + Send + Sync` wrappers over `Arc`ed atomics;
+//! resolving a handle from the [`crate::Registry`] takes a lock once, after
+//! which every update is a single relaxed atomic operation. Hot paths are
+//! expected to resolve their handles at construction time and update them
+//! unconditionally — the update itself is cheaper than a branch on a
+//! global enable flag would make it.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` occurrences.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one occurrence.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the value by a delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets; covers the full `u64` range.
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free distribution sketch over power-of-two buckets.
+///
+/// Bucket `i` counts values whose highest set bit is `i - 1` (bucket 0
+/// counts zeros), so quantiles are exact to within a factor of two — ample
+/// for latency distributions — while recording stays four relaxed atomic
+/// operations.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let h = &*self.0;
+        h.buckets[Self::bucket(v)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize % BUCKETS
+    }
+
+    /// A consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = &*self.0;
+        HistogramSnapshot {
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            max: h.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Per-bucket counts (power-of-two buckets).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (e.g. `0.5`,
+    /// `0.99`); exact to within a factor of two.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank.max(1) {
+                // Bucket 0 holds only zeros; bucket i ≥ 1 holds [2^(i-1), 2^i).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = Counter::default();
+        let c2 = c.clone();
+        c.add(3);
+        c2.inc();
+        assert_eq!(c.get(), 4);
+        assert_eq!(c2.get(), 4);
+    }
+
+    #[test]
+    fn gauge_overwrites_and_adjusts() {
+        let g = Gauge::default();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 1106.0 / 6.0).abs() < 1e-9);
+        // 0 lands in bucket 0; 1 in bucket 1; 2..3 in bucket 2.
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+    }
+
+    #[test]
+    fn quantile_bound_is_a_factor_of_two_envelope() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(100_000);
+        let s = h.snapshot();
+        let p50 = s.quantile_bound(0.5);
+        assert!((10..=16).contains(&p50), "p50 bound {p50}");
+        assert!(s.quantile_bound(1.0) >= 100_000 / 2);
+    }
+}

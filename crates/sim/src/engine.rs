@@ -32,6 +32,7 @@ use crate::fleet::{EvalCache, StepKey};
 use crate::policy::FiringPolicy;
 use crate::trace::{Termination, Trace};
 use etpn_core::{Etpn, ExternalEvent, Marking, Op, PlaceId, PortId, TransId, Value};
+use etpn_obs as obs;
 use rand::rngs::SmallRng;
 use std::sync::Arc;
 
@@ -41,6 +42,31 @@ struct CacheHandle {
     cache: Arc<EvalCache>,
     design_fp: u64,
     env_fp: u64,
+}
+
+/// Pre-resolved registry handles for the engine's hot-path metrics: one
+/// lock per name at construction, one relaxed atomic op per update after.
+struct SimMetrics {
+    steps: obs::Counter,
+    firings: obs::Counter,
+    evals: obs::Counter,
+    cache_hits: obs::Counter,
+    cache_misses: obs::Counter,
+    step_ns: obs::Histogram,
+}
+
+impl SimMetrics {
+    fn new() -> Self {
+        let reg = obs::global();
+        Self {
+            steps: reg.counter("sim.steps"),
+            firings: reg.counter("sim.firings"),
+            evals: reg.counter("sim.evals"),
+            cache_hits: reg.counter("sim.cache.hits"),
+            cache_misses: reg.counter("sim.cache.misses"),
+            step_ns: reg.histogram("sim.step.ns"),
+        }
+    }
 }
 
 /// A configured simulation run over one design.
@@ -62,6 +88,7 @@ pub struct Simulator<'g, E: Environment> {
     watched: Vec<Vec<Value>>,
     fire_counts: Vec<u64>,
     exit_counts: Vec<u64>,
+    metrics: SimMetrics,
 }
 
 impl<'g, E: Environment> Simulator<'g, E> {
@@ -86,6 +113,7 @@ impl<'g, E: Environment> Simulator<'g, E> {
             watched: Vec::new(),
             fire_counts: vec![0; g.ctl.transitions().capacity_bound()],
             exit_counts: vec![0; g.ctl.places().capacity_bound()],
+            metrics: SimMetrics::new(),
         }
     }
 
@@ -176,8 +204,16 @@ impl<'g, E: Environment> Simulator<'g, E> {
         if self.marking.is_terminated() {
             return Ok(None);
         }
+        let _step_span = obs::span_arg("sim.step", "step", self.step as i64);
+        // The step-duration histogram times every step under `Trace` but
+        // only every 16th under `Stats`: two `Instant::now` calls per step
+        // would dominate the budget on designs with sub-microsecond steps,
+        // and the histogram is statistical anyway.
+        let t0 = (obs::trace_enabled() || (obs::stats_enabled() && self.step & 0xF == 0))
+            .then(std::time::Instant::now);
         let g = self.g;
         let vals: Arc<StepValues> = {
+            let _eval_span = obs::span("sim.eval");
             let env = &self.env;
             let cursors = &self.cursors;
             let key = self.cache.as_ref().map(|h| StepKey {
@@ -191,9 +227,16 @@ impl<'g, E: Environment> Simulator<'g, E> {
                 (Some(h), Some(k)) => h.cache.lookup(k, &self.marking, &self.state, cursors),
                 _ => None,
             };
+            if key.is_some() {
+                match cached {
+                    Some(_) => self.metrics.cache_hits.inc(),
+                    None => self.metrics.cache_misses.inc(),
+                }
+            }
             match cached {
                 Some(v) => v,
                 None => {
+                    self.metrics.evals.inc();
                     let fresh = Arc::new(self.evaluator.step(
                         g,
                         &self.marking,
@@ -214,13 +257,22 @@ impl<'g, E: Environment> Simulator<'g, E> {
             self.watched
                 .push(self.watch.iter().map(|&p| vals.value(p)).collect());
         }
-        let (fired, exited) = self.fire(&vals)?;
-        for &s in &exited {
-            self.exit_counts[s.idx()] += 1;
-        }
-        self.commit_exits(&exited, &vals);
+        let fired = {
+            let _fire_span = obs::span("sim.fire");
+            let (fired, exited) = self.fire(&vals)?;
+            for &s in &exited {
+                self.exit_counts[s.idx()] += 1;
+            }
+            self.commit_exits(&exited, &vals);
+            fired
+        };
 
         self.step += 1;
+        self.metrics.steps.inc();
+        self.metrics.firings.add(fired as u64);
+        if let Some(t0) = t0 {
+            self.metrics.step_ns.record(t0.elapsed().as_nanos() as u64);
+        }
         if fired == 0 {
             return Ok(None); // fixpoint: nothing can ever change
         }
@@ -229,6 +281,7 @@ impl<'g, E: Environment> Simulator<'g, E> {
 
     /// Run to completion or `max_steps`, whichever comes first.
     pub fn run(mut self, max_steps: u64) -> Result<Trace, SimError> {
+        let mut run_span = obs::span("sim.run");
         let termination = loop {
             if self.step >= max_steps {
                 break Termination::StepLimit;
@@ -244,6 +297,8 @@ impl<'g, E: Environment> Simulator<'g, E> {
                 }
             }
         };
+        run_span.set_arg("steps", self.step as i64);
+        drop(run_span);
         // Deterministic event order: by (step, arc, place).
         self.events.sort_by_key(|e| (e.step, e.arc, e.place));
         Ok(Trace {
@@ -294,6 +349,7 @@ impl<'g, E: Environment> Simulator<'g, E> {
                 .expect("an over-full place exists");
             return Err(SimError::UnsafeMarking {
                 place,
+                tokens: u64::from(self.marking.count(place)),
                 step: self.step,
             });
         }

@@ -1,6 +1,13 @@
 //! Simulation failure modes.
+//!
+//! Every variant records the step at which execution stopped plus the
+//! offending model object, so a failure inside a long batch is
+//! attributable without re-running: [`SimError::step`] gives the time
+//! coordinate, and [`SimError::describe`] resolves the raw ids against the
+//! design for a human-readable account (the ids alone stay `Display`able
+//! for contexts that do not hold the graph).
 
-use etpn_core::{PlaceId, PortId};
+use etpn_core::{ArcId, Etpn, PlaceId, PortId};
 
 /// Errors raised during execution of the operational semantics.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -11,6 +18,8 @@ pub enum SimError {
     InputConflict {
         /// The contended input port.
         port: PortId,
+        /// The simultaneously open arcs driving it.
+        arcs: Vec<ArcId>,
         /// The step at which the conflict occurred.
         step: u64,
     },
@@ -27,28 +36,125 @@ pub enum SimError {
     UnsafeMarking {
         /// The over-full place.
         place: PlaceId,
+        /// How many tokens it held.
+        tokens: u64,
         /// The step at which it happened.
         step: u64,
     },
 }
 
+impl SimError {
+    /// The step at which the failure occurred.
+    pub fn step(&self) -> u64 {
+        match self {
+            SimError::InputConflict { step, .. }
+            | SimError::CombinationalLoop { step, .. }
+            | SimError::UnsafeMarking { step, .. } => *step,
+        }
+    }
+
+    /// Resolve the raw ids against the design the error came from: names
+    /// the vertex owning a contended port, the arcs' driving vertices, or
+    /// the over-full place.
+    pub fn describe(&self, g: &Etpn) -> String {
+        let vertex_of = |p: PortId| g.dp.vertex(g.dp.port(p).vertex).name.clone();
+        match self {
+            SimError::InputConflict { port, arcs, step } => {
+                let drivers: Vec<String> = arcs
+                    .iter()
+                    .map(|&a| format!("{a} from `{}`", vertex_of(g.dp.arc(a).from)))
+                    .collect();
+                format!(
+                    "input port {port} of `{}` driven by {} open arcs at step {step}: {}",
+                    vertex_of(*port),
+                    arcs.len(),
+                    drivers.join(", ")
+                )
+            }
+            SimError::CombinationalLoop { port, step } => {
+                format!(
+                    "active combinational loop through port {port} of `{}` at step {step}",
+                    vertex_of(*port)
+                )
+            }
+            SimError::UnsafeMarking {
+                place,
+                tokens,
+                step,
+            } => {
+                format!(
+                    "place {place} (`{}`) holds {tokens} tokens at step {step}",
+                    g.ctl.place(*place).name
+                )
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::InputConflict { port, step } => {
+            SimError::InputConflict { port, arcs, step } => {
                 write!(
                     f,
-                    "input port {port} driven by multiple open arcs at step {step}"
+                    "input port {port} driven by {} open arcs at step {step}",
+                    arcs.len()
                 )
             }
             SimError::CombinationalLoop { port, step } => {
                 write!(f, "active combinational loop through {port} at step {step}")
             }
-            SimError::UnsafeMarking { place, step } => {
-                write!(f, "place {place} holds more than one token at step {step}")
+            SimError::UnsafeMarking {
+                place,
+                tokens,
+                step,
+            } => {
+                write!(f, "place {place} holds {tokens} tokens at step {step}")
             }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::builder::EtpnBuilder;
+
+    #[test]
+    fn describe_resolves_names() {
+        let mut b = EtpnBuilder::new();
+        let c1 = b.constant(1, "one");
+        let c2 = b.constant(2, "two");
+        let r = b.register("acc");
+        let a1 = b.connect(b.out_port(c1, 0), b.in_port(r, 0));
+        let a2 = b.connect(b.out_port(c2, 0), b.in_port(r, 0));
+        let s0 = b.place("load");
+        b.control(s0, [a1, a2]);
+        let s1 = b.place("next");
+        b.seq(s0, s1, "t0");
+        b.mark(s0);
+        let g = b.finish().unwrap();
+
+        let port = g.dp.arc(a1).to;
+        let err = SimError::InputConflict {
+            port,
+            arcs: vec![a1, a2],
+            step: 4,
+        };
+        let msg = err.describe(&g);
+        assert!(msg.contains("`acc`"), "{msg}");
+        assert!(msg.contains("`one`") && msg.contains("`two`"), "{msg}");
+        assert!(msg.contains("step 4"), "{msg}");
+        assert_eq!(err.step(), 4);
+
+        let err = SimError::UnsafeMarking {
+            place: s0,
+            tokens: 2,
+            step: 9,
+        };
+        assert!(err.describe(&g).contains("`load`"));
+        assert!(err.describe(&g).contains("2 tokens"));
+    }
+}

@@ -162,18 +162,20 @@ impl Evaluator {
             let port = g.dp.port(p);
             let deg = match port.dir {
                 Dir::In => {
-                    let n =
+                    let open_arcs: Vec<_> =
                         g.dp.incoming_arcs(p)
                             .iter()
                             .filter(|&&a| open.contains(a.idx()))
-                            .count();
-                    if n > 1 {
+                            .copied()
+                            .collect();
+                    if open_arcs.len() > 1 {
                         return Err(SimError::InputConflict {
                             port: p,
+                            arcs: open_arcs,
                             step: step_no,
                         });
                     }
-                    n as u32
+                    open_arcs.len() as u32
                 }
                 Dir::Out => match port.operation() {
                     op if op.is_sequential() => 0,

@@ -32,6 +32,7 @@ use crate::eval::{DpState, StepValues};
 use crate::policy::FiringPolicy;
 use crate::trace::Trace;
 use etpn_core::{Etpn, Marking, Value};
+use etpn_obs as obs;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -332,6 +333,24 @@ pub struct FleetStats {
     pub cache: CacheStats,
 }
 
+impl FleetStats {
+    /// Re-export this summary through the observability registry as
+    /// gauges under `fleet.*`, so profile/stats dumps and downstream
+    /// tooling see the same numbers `run_batch` returned.
+    pub fn export(&self, reg: &obs::Registry) {
+        reg.gauge("fleet.jobs").set(self.jobs as i64);
+        reg.gauge("fleet.workers").set(self.workers as i64);
+        reg.gauge("fleet.stolen").set(self.stolen as i64);
+        reg.gauge("fleet.cache.hits").set(self.cache.hits as i64);
+        reg.gauge("fleet.cache.misses")
+            .set(self.cache.misses as i64);
+        reg.gauge("fleet.cache.evictions")
+            .set(self.cache.evictions as i64);
+        reg.gauge("fleet.cache.entries")
+            .set(self.cache.entries as i64);
+    }
+}
+
 /// Everything a batch run returns: per-job outcomes in submission order
 /// plus the run summary.
 pub struct FleetBatch {
@@ -380,6 +399,10 @@ impl Fleet {
     /// lengths are skewed.
     pub fn run_batch<'g, E: Environment + Send>(&self, jobs: Vec<SimJob<'g, E>>) -> FleetBatch {
         type WorkQueue<'g, E> = Mutex<VecDeque<(usize, SimJob<'g, E>)>>;
+        let _batch_span = obs::span_arg("fleet.batch", "jobs", jobs.len() as i64);
+        let reg = obs::global();
+        let jobs_done = reg.counter("fleet.jobs_done");
+        let steals = reg.counter("fleet.steals");
         let n_jobs = jobs.len();
         let workers = self.workers.min(n_jobs).max(1);
         let queues: Vec<WorkQueue<'g, E>> =
@@ -400,28 +423,45 @@ impl Fleet {
                 let slots = &slots;
                 let stolen = &stolen;
                 let cache = &self.cache;
-                scope.spawn(move || loop {
-                    let mut next = queues[w].lock().expect("fleet queue poisoned").pop_front();
-                    if next.is_none() {
-                        for d in 1..workers {
-                            let victim = (w + d) % workers;
-                            next = queues[victim]
-                                .lock()
-                                .expect("fleet queue poisoned")
-                                .pop_back();
-                            if next.is_some() {
-                                stolen.fetch_add(1, Ordering::Relaxed);
-                                break;
+                let jobs_done = &jobs_done;
+                let steals = &steals;
+                scope.spawn(move || {
+                    {
+                        let _worker_span = obs::span_arg("fleet.worker", "worker", w as i64);
+                        loop {
+                            let mut next =
+                                queues[w].lock().expect("fleet queue poisoned").pop_front();
+                            if next.is_none() {
+                                for d in 1..workers {
+                                    let victim = (w + d) % workers;
+                                    next = queues[victim]
+                                        .lock()
+                                        .expect("fleet queue poisoned")
+                                        .pop_back();
+                                    if next.is_some() {
+                                        stolen.fetch_add(1, Ordering::Relaxed);
+                                        steals.inc();
+                                        break;
+                                    }
+                                }
+                            }
+                            match next {
+                                Some((idx, job)) => {
+                                    let _job_span = obs::span_arg("fleet.job", "job", idx as i64);
+                                    let outcome = job.run(cache);
+                                    *slots[idx].lock().expect("fleet slot poisoned") =
+                                        Some(outcome);
+                                    jobs_done.inc();
+                                }
+                                None => break,
                             }
                         }
                     }
-                    match next {
-                        Some((idx, job)) => {
-                            let outcome = job.run(cache);
-                            *slots[idx].lock().expect("fleet slot poisoned") = Some(outcome);
-                        }
-                        None => break,
-                    }
+                    // Flush explicitly: `thread::scope` unblocks when this
+                    // closure returns, which is *before* thread-local
+                    // destructors run, so relying on the TLS-drop flush
+                    // would race the batch's readers.
+                    obs::flush_thread();
                 });
             }
         });
@@ -434,15 +474,14 @@ impl Fleet {
                     .expect("every submitted job is executed exactly once")
             })
             .collect();
-        FleetBatch {
-            results,
-            stats: FleetStats {
-                jobs: n_jobs,
-                workers,
-                stolen: stolen.load(Ordering::Relaxed),
-                cache: self.cache.stats(),
-            },
-        }
+        let stats = FleetStats {
+            jobs: n_jobs,
+            workers,
+            stolen: stolen.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        };
+        stats.export(reg);
+        FleetBatch { results, stats }
     }
 }
 

@@ -18,6 +18,7 @@ use crate::cost::{cost_report, CostReport};
 use crate::module_lib::ModuleLibrary;
 use etpn_analysis::critical_path::critical_path;
 use etpn_core::{Etpn, PlaceId, TransId};
+use etpn_obs as obs;
 use etpn_transform::{Rewriter, Transform, VertexMerger};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -283,7 +284,12 @@ impl Optimizer {
 
     /// Run the optimisation loop on a rewrite session.
     pub fn optimize(&self, rw: &mut Rewriter) -> OptimizerReport {
+        let reg = obs::global();
+        let examined = reg.counter("opt.moves_examined");
+        let accepted = reg.counter("opt.moves_accepted");
         let initial = cost_report(rw.design(), &self.lib);
+        obs::sample("opt.latency_bound", initial.latency_bound as i64);
+        obs::sample("opt.area", initial.total_area as i64);
         let mut best = self.score(&initial);
         let mut steps = Vec::new();
         let mut evaluations = 0usize;
@@ -298,6 +304,7 @@ impl Optimizer {
         };
 
         loop {
+            let _round_span = obs::span_arg("opt.round", "accepted", steps.len() as i64);
             let cands = self.order(rw.design(), self.candidates(rw.design()));
             let mut exhausted = false;
             let mut window: Vec<(Transform, CostReport, (u64, u64, u64))> = Vec::new();
@@ -314,6 +321,7 @@ impl Optimizer {
                     continue;
                 }
                 evaluations += 1;
+                examined.inc();
                 let report = cost_report(&trial, &self.lib);
                 let score = self.score(&report);
                 if score < best {
@@ -328,6 +336,9 @@ impl Optimizer {
             {
                 best = score;
                 rw.apply(t.clone()).expect("trial already applied cleanly");
+                accepted.inc();
+                obs::sample("opt.latency_bound", report.latency_bound as i64);
+                obs::sample("opt.area", report.total_area as i64);
                 steps.push(OptStep {
                     transform: t,
                     report,

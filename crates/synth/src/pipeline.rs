@@ -19,6 +19,7 @@ use crate::netlist::netlist;
 use crate::optimizer::{Objective, Optimizer, OptimizerReport};
 use etpn_analysis::proper::check_properly_designed;
 use etpn_core::Etpn;
+use etpn_obs as obs;
 use etpn_transform::Rewriter;
 
 /// Everything a synthesis run produces.
@@ -43,6 +44,7 @@ pub struct SynthesisResult {
 
 /// Compile a source text into its preliminary design.
 pub fn compile_source(src: &str) -> SynthResult<CompiledDesign> {
+    let _span = obs::span("synth.compile");
     let prog = etpn_lang::parse_and_check(src)?;
     compile(&prog)
 }
@@ -53,27 +55,42 @@ pub fn synthesize(
     objective: Objective,
     lib: &ModuleLibrary,
 ) -> SynthResult<SynthesisResult> {
+    let _pipeline_span = obs::span("synth.pipeline");
+    obs::global().counter("synth.runs").inc();
     let compiled = compile_source(src)?;
-    let report = check_properly_designed(&compiled.etpn);
-    if !report.is_proper() {
-        return Err(SynthError::NotProper(report.summary()));
+    {
+        let _span = obs::span("synth.check");
+        let report = check_properly_designed(&compiled.etpn);
+        if !report.is_proper() {
+            return Err(SynthError::NotProper(report.summary()));
+        }
     }
     // Pre-optimisation cleanup: fold duplicated constants (always sound —
     // constants have no input ports to contend on).
     let mut pre = compiled.etpn.clone();
-    crate::cleanup::share_constants(&mut pre)?;
+    {
+        let _span = obs::span("synth.cleanup");
+        crate::cleanup::share_constants(&mut pre)?;
+    }
     let initial_cost = cost_report(&pre, lib);
     let mut rw = Rewriter::new(pre);
-    let optimizer_report = Optimizer::new(lib.clone(), objective).optimize(&mut rw);
+    let optimizer_report = {
+        let _span = obs::span("synth.optimize");
+        Optimizer::new(lib.clone(), objective).optimize(&mut rw)
+    };
     let optimized = rw.design().clone();
     // The optimised design must still be properly designed.
-    let post = check_properly_designed(&optimized);
-    if !post.is_proper() {
-        return Err(SynthError::NotProper(format!(
-            "optimiser broke the design (bug): {}",
-            post.summary()
-        )));
+    {
+        let _span = obs::span("synth.verify");
+        let post = check_properly_designed(&optimized);
+        if !post.is_proper() {
+            return Err(SynthError::NotProper(format!(
+                "optimiser broke the design (bug): {}",
+                post.summary()
+            )));
+        }
     }
+    let _emit_span = obs::span("synth.emit");
     let final_cost = cost_report(&optimized, lib);
     let binding = binding_report(&optimized, lib);
     let text = netlist(&optimized, lib, &compiled.name);

@@ -21,13 +21,31 @@
 //!                                              fleet workers, report cache
 //!                                              stats and policy invariance)
 //!   --seeds K                                 (battery seeds, default 4)
+//! dot options:
+//!   --heat                                    (simulate with the --set
+//!                                              streams and colour the control
+//!                                              net by activation/firing
+//!                                              counts)
+//! observability (run, build, interp):
+//!   --profile FILE.json                       (write a Chrome trace_event
+//!                                              profile; open in
+//!                                              chrome://tracing or Perfetto)
+//!   --stats                                   (dump counters/gauges/
+//!                                              histograms after the command)
+//!
+//! exit codes: 0 success, 1 error, 3 simulation hit the step limit.
 //! ```
 
 use etpn::analysis::proper::check_properly_designed;
 use etpn::core::dot;
-use etpn::sim::{ScriptedEnv, Simulator};
+use etpn::obs;
+use etpn::sim::{ScriptedEnv, Simulator, Termination};
 use etpn::synth::{synthesize, Grade, ModuleLibrary, Objective};
 use std::process::ExitCode;
+
+/// Exit code for a run that stopped on the step budget instead of
+/// terminating or quiescing (distinct from generic failure, `1`).
+const EXIT_STEP_LIMIT: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +53,13 @@ fn main() -> ExitCode {
         eprintln!("usage: etpnc <check|build|run|interp|dot> <design.hdl> [options]");
         return ExitCode::FAILURE;
     };
+    let profile_path = flag_value(rest, "--profile").map(str::to_string);
+    let want_stats = rest.iter().any(|a| a == "--stats");
+    if profile_path.is_some() {
+        obs::set_level(obs::Level::Trace);
+    } else if want_stats {
+        obs::set_level(obs::Level::Stats);
+    }
     let result = match cmd.as_str() {
         "check" => cmd_check(rest),
         "build" => cmd_build(rest),
@@ -43,13 +68,32 @@ fn main() -> ExitCode {
         "dot" => cmd_dot(rest),
         other => Err(format!("unknown command `{other}`")),
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+    // Export observability before deciding the exit status so that even a
+    // failed or truncated run leaves its profile behind.
+    let obs_result = export_observability(profile_path.as_deref(), want_stats);
+    match (result, obs_result) {
+        (Ok(code), Ok(())) => code,
+        (Ok(_), Err(e)) | (Err(e), _) => {
             eprintln!("etpnc: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+fn export_observability(profile_path: Option<&str>, want_stats: bool) -> Result<(), String> {
+    if profile_path.is_none() && !want_stats {
+        return Ok(());
+    }
+    obs::flush_thread();
+    let reg = obs::global();
+    if let Some(path) = profile_path {
+        std::fs::write(path, obs::chrome_trace(reg)).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path} ({} spans)", reg.spans().len());
+    }
+    if want_stats {
+        print!("{}", obs::stats_text(reg));
+    }
+    Ok(())
 }
 
 fn read_source(args: &[String]) -> Result<(String, String), String> {
@@ -68,7 +112,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let (_, src) = read_source(args)?;
     let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
     let (v, p, a, s, t) = d.etpn.size();
@@ -79,13 +123,13 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     let report = check_properly_designed(&d.etpn);
     print!("{}", report.summary());
     if report.is_proper() {
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     } else {
         Err("design is not properly designed".into())
     }
 }
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
+fn cmd_build(args: &[String]) -> Result<ExitCode, String> {
     let (_, src) = read_source(args)?;
     let objective = match flag_value(args, "--objective").unwrap_or("balanced") {
         "min-delay" => Objective::MinDelay {
@@ -147,7 +191,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         res.final_cost.latency_bound,
         res.transform_log.len()
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn parse_streams(args: &[String]) -> Result<Vec<(String, Vec<i64>)>, String> {
@@ -172,7 +216,31 @@ fn parse_streams(args: &[String]) -> Result<Vec<(String, Vec<i64>)>, String> {
     Ok(streams)
 }
 
-fn cmd_run(args: &[String], use_interpreter: bool) -> Result<(), String> {
+/// Print how a run ended and map it onto the process exit code.
+fn report_termination(trace: &etpn::sim::Trace, steps: u64) -> ExitCode {
+    let reason = match trace.termination {
+        Termination::Terminated => "all tokens consumed (Def. 3.1(6))".to_string(),
+        Termination::Quiescent => "fixpoint: nothing can fire and no input advances".to_string(),
+        Termination::StepLimit => format!("step budget of {steps} exhausted"),
+    };
+    println!(
+        "termination: {:?} — {reason}\n{} steps, {} firings, {} external events",
+        trace.termination,
+        trace.steps,
+        trace.firings,
+        trace.event_count()
+    );
+    if trace.termination == Termination::StepLimit {
+        eprintln!(
+            "etpnc: run hit the step limit (exit {EXIT_STEP_LIMIT}); raise --steps if unintended"
+        );
+        ExitCode::from(EXIT_STEP_LIMIT)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_run(args: &[String], use_interpreter: bool) -> Result<ExitCode, String> {
     let (_, src) = read_source(args)?;
     let streams = parse_streams(args)?;
     let steps: u64 = flag_value(args, "--steps")
@@ -181,12 +249,13 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<(), String> {
         .unwrap_or(100_000);
 
     if use_interpreter {
+        let _span = obs::span("interp.run");
         let prog = etpn::lang::parse_and_check(&src).map_err(|e| e.to_string())?;
         let out = etpn::workloads::interpret(&prog, &streams).map_err(|e| e.to_string())?;
         for name in &prog.outputs {
             println!("{name} = {:?}", out[name]);
         }
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
 
     let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
@@ -211,7 +280,7 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<(), String> {
     if vcd_path.is_some() {
         sim = sim.watch_registers();
     }
-    let trace = sim.run(steps).map_err(|e| e.to_string())?;
+    let trace = sim.run(steps).map_err(|e| e.describe(&d.etpn))?;
     if let Some(path) = vcd_path {
         let vcd = etpn::sim::vcd::render(&d.etpn, &trace).ok_or("nothing captured for the VCD")?;
         std::fs::write(path, vcd).map_err(|e| format!("writing {path}: {e}"))?;
@@ -228,18 +297,12 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<(), String> {
             println!("  never fired:     {name}");
         }
     }
-    println!(
-        "{:?} after {} steps, {} firings, {} external events",
-        trace.termination,
-        trace.steps,
-        trace.firings,
-        trace.event_count()
-    );
+    let code = report_termination(&trace, steps);
     let prog = etpn::lang::parse_and_check(&src).map_err(|e| e.to_string())?;
     for name in &prog.outputs {
         println!("{name} = {:?}", trace.values_on_named_output(&d.etpn, name));
     }
-    Ok(())
+    Ok(code)
 }
 
 /// `run --jobs N`: batch the deterministic policy plus seeded sweeps of both
@@ -252,7 +315,7 @@ fn run_fleet_battery(
     env: ScriptedEnv,
     steps: u64,
     workers: usize,
-) -> Result<(), String> {
+) -> Result<ExitCode, String> {
     use etpn::sim::{compare_structures, event_structure, FiringPolicy, Fleet, SimJob};
 
     let seeds: u64 = flag_value(args, "--seeds")
@@ -283,11 +346,12 @@ fn run_fleet_battery(
     let reference = results
         .next()
         .expect("battery is non-empty")
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| format!("job 0 ({:?}): {}", policies[0], e.describe(&d.etpn)))?;
     let ref_structure = event_structure(&d.etpn, &reference);
     let mut divergent = 0usize;
-    for (policy, result) in policies[1..].iter().zip(results) {
-        let trace = result.map_err(|e| e.to_string())?;
+    for (idx, (policy, result)) in policies[1..].iter().zip(results).enumerate() {
+        let trace =
+            result.map_err(|e| format!("job {} ({policy:?}): {}", idx + 1, e.describe(&d.etpn)))?;
         let verdict = compare_structures(&ref_structure, &event_structure(&d.etpn, &trace));
         if let etpn::sim::EquivalenceVerdict::Different(diff) = verdict {
             divergent += 1;
@@ -310,13 +374,7 @@ fn run_fleet_battery(
         let (ps, ts) = cov.percentages();
         println!("coverage: {ps:.0}% states, {ts:.0}% transitions");
     }
-    println!(
-        "{:?} after {} steps, {} firings, {} external events",
-        reference.termination,
-        reference.steps,
-        reference.firings,
-        reference.event_count()
-    );
+    let code = report_termination(&reference, steps);
     for v in d.etpn.dp.output_vertices() {
         let name = &d.etpn.dp.vertex(v).name;
         println!(
@@ -329,16 +387,41 @@ fn run_fleet_battery(
             "all {} policies agree with the deterministic reference",
             policies.len() - 1
         );
-        Ok(())
+        Ok(code)
     } else {
         Err(format!("{divergent} policies diverged"))
     }
 }
 
-fn cmd_dot(args: &[String]) -> Result<(), String> {
+fn cmd_dot(args: &[String]) -> Result<ExitCode, String> {
     let (_, src) = read_source(args)?;
     let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--heat") {
+        // Heat needs an execution: simulate with the provided streams and
+        // grade the control net by the observed activity.
+        let streams = parse_streams(args)?;
+        let steps: u64 = flag_value(args, "--steps")
+            .map(|v| v.parse().map_err(|e| format!("--steps: {e}")))
+            .transpose()?
+            .unwrap_or(100_000);
+        let mut env = ScriptedEnv::new();
+        for (name, values) in &streams {
+            env = env.with_stream(name, values.iter().copied());
+        }
+        let mut sim = Simulator::new(&d.etpn, env);
+        for (name, v) in &d.reg_inits {
+            sim = sim.init_register(name, *v);
+        }
+        let trace = sim.run(steps).map_err(|e| e.describe(&d.etpn))?;
+        let heat = dot::ControlHeat {
+            exit_counts: &trace.exit_counts,
+            fire_counts: &trace.fire_counts,
+        };
+        println!("{}", dot::datapath_dot(&d.etpn));
+        println!("{}", dot::control_dot_heat(&d.etpn, &heat));
+        return Ok(ExitCode::SUCCESS);
+    }
     println!("{}", dot::datapath_dot(&d.etpn));
     println!("{}", dot::control_dot(&d.etpn));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

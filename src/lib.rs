@@ -71,10 +71,12 @@
 //! | [`lang`] | `etpn-lang` | behavioural HDL front-end |
 //! | [`synth`] | `etpn-synth` | CAMAD-style synthesis pipeline |
 //! | [`workloads`] | `etpn-workloads` | diffeq, EWF, FIR16, GCD, AR lattice, IIR, α–β, isqrt, random nets |
+//! | [`obs`] | `etpn-obs` | spans, counters, Chrome-trace/stats exporters |
 
 pub use etpn_analysis as analysis;
 pub use etpn_core as core;
 pub use etpn_lang as lang;
+pub use etpn_obs as obs;
 pub use etpn_sim as sim;
 pub use etpn_synth as synth;
 pub use etpn_transform as transform;
