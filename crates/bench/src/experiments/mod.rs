@@ -5,6 +5,7 @@
 
 pub mod e10_determinism;
 pub mod e11_obs;
+pub mod e12_fault;
 pub mod e1_e2_equivalence;
 pub mod e3_parallelize;
 pub mod e4_pareto;
@@ -50,6 +51,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e9_throughput::run_fleet(scale),
         e10_determinism::run(scale),
         e11_obs::run(scale),
+        e12_fault::run(scale),
     ]
 }
 
@@ -68,6 +70,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "E9B" => e9_throughput::run_fleet(scale),
         "E10" => e10_determinism::run(scale),
         "E11" => e11_obs::run(scale),
+        "E12" => e12_fault::run(scale),
         _ => return None,
     })
 }

@@ -11,18 +11,40 @@ use std::fmt::Write;
 
 /// Render the data path as a DOT digraph.
 pub fn datapath_dot(g: &Etpn) -> String {
+    datapath_dot_with(g, None)
+}
+
+/// Per-vertex heat for [`datapath_dot_heat`], raw-vertex-id indexed
+/// (missing ids count as zero). Fault campaigns use silent-corruption
+/// counts here to render a vulnerability map.
+pub struct DataHeat<'a> {
+    /// Heat score per data-path vertex.
+    pub vertex_counts: &'a [u64],
+}
+
+/// Render the data path with each vertex annotated with its heat count and
+/// filled on the white→red log ramp of `dot --heat` (white = cold, deep
+/// red = hottest vertex).
+pub fn datapath_dot_heat(g: &Etpn, heat: &DataHeat<'_>) -> String {
+    datapath_dot_with(g, Some(heat))
+}
+
+fn datapath_dot_with(g: &Etpn, heat: Option<&DataHeat<'_>>) -> String {
+    let max_count = heat
+        .map(|h| h.vertex_counts.iter().copied().max().unwrap_or(0))
+        .unwrap_or(0);
     let mut s = String::new();
     let _ = writeln!(s, "digraph datapath {{");
     let _ = writeln!(s, "  rankdir=LR; node [fontsize=10];");
     for (v, vx) in g.dp.vertices().iter() {
         let (shape, color) = match vx.kind {
-            VertexKind::Input => ("invhouse", "lightblue"),
-            VertexKind::Output => ("house", "lightsalmon"),
+            VertexKind::Input => ("invhouse", "lightblue".to_string()),
+            VertexKind::Output => ("house", "lightsalmon".to_string()),
             VertexKind::Unit => {
                 if g.dp.is_sequential_vertex(v) {
-                    ("box", "lightyellow")
+                    ("box", "lightyellow".to_string())
                 } else {
-                    ("ellipse", "white")
+                    ("ellipse", "white".to_string())
                 }
             }
         };
@@ -31,10 +53,18 @@ pub fn datapath_dot(g: &Etpn) -> String {
             .iter()
             .map(|&p| g.dp.port(p).operation().to_string())
             .collect();
-        let label = if ops.is_empty() {
+        let mut label = if ops.is_empty() {
             vx.name.clone()
         } else {
             format!("{}\\n[{}]", vx.name, ops.join(","))
+        };
+        let color = match heat {
+            None => color,
+            Some(h) => {
+                let count = h.vertex_counts.get(v.idx()).copied().unwrap_or(0);
+                label = format!("{label}\\n{count}");
+                heat_color(count, max_count)
+            }
         };
         let _ = writeln!(
             s,
@@ -228,6 +258,23 @@ mod tests {
         assert!(dot.contains("/reds9/9"), "hottest node is deep red:\n{dot}");
         // A count of 1 against a max of 10 sits at the cold end of the ramp.
         assert!(dot.contains("/reds9/1"), "cold place graded low:\n{dot}");
+    }
+
+    #[test]
+    fn datapath_heat_grades_vertices() {
+        let g = small();
+        // Raw-id indexed: x, r, y in insertion order.
+        let dot = datapath_dot_heat(
+            &g,
+            &DataHeat {
+                vertex_counts: &[9, 1, 0],
+            },
+        );
+        assert!(dot.contains("\\n9"), "hot vertex count shown:\n{dot}");
+        assert!(dot.contains("/reds9/9"), "hottest vertex deep red:\n{dot}");
+        assert!(dot.contains("fillcolor=white"), "cold vertex white:\n{dot}");
+        // Without heat the plain exporter is unchanged.
+        assert!(!datapath_dot(&g).contains("reds9"));
     }
 
     #[test]

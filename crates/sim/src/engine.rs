@@ -28,6 +28,7 @@
 use crate::env::{Environment, InputCursors};
 use crate::error::SimError;
 use crate::eval::{DpState, Evaluator, StepValues};
+use crate::fault::FaultPlan;
 use crate::fleet::{EvalCache, StepKey};
 use crate::policy::FiringPolicy;
 use crate::trace::{Termination, Trace};
@@ -35,6 +36,7 @@ use etpn_core::{Etpn, ExternalEvent, Marking, Op, PlaceId, PortId, TransId, Valu
 use etpn_obs as obs;
 use rand::rngs::SmallRng;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Binding of a simulator to a shared memo cache: the per-run-constant
 /// key components, computed once.
@@ -81,6 +83,9 @@ pub struct Simulator<'g, E: Environment> {
     marking: Marking,
     cache: Option<CacheHandle>,
     rng: Option<SmallRng>,
+    faults: Option<FaultPlan>,
+    wall_budget: Option<Duration>,
+    strict: bool,
     step: u64,
     firings: u64,
     events: Vec<ExternalEvent>,
@@ -106,6 +111,9 @@ impl<'g, E: Environment> Simulator<'g, E> {
             marking: Marking::initial(&g.ctl),
             cache: None,
             rng: None,
+            faults: None,
+            wall_budget: None,
+            strict: false,
             step: 0,
             firings: 0,
             events: Vec::new(),
@@ -169,6 +177,33 @@ impl<'g, E: Environment> Simulator<'g, E> {
         self
     }
 
+    /// Inject the faults of `plan` during the run (see [`crate::fault`]).
+    /// Data faults force port values at assignment time inside the
+    /// evaluator; control faults perturb the marking before each step. On
+    /// steps where a data fault is active the memo cache is bypassed in
+    /// both directions — forced values are not a pure function of the
+    /// configuration, so they must be neither served nor published.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// Stop with [`Termination::Budget`] once this much wall-clock time
+    /// has elapsed (checked every 64 steps, so short overruns are
+    /// possible). Protects fault campaigns from runaway jobs.
+    pub fn with_wall_budget(mut self, budget: Duration) -> Self {
+        self.wall_budget = Some(budget);
+        self
+    }
+
+    /// Treat a committed read past the end of a finite input stream as
+    /// [`SimError::InputExhausted`] (naming the dry vertex) instead of
+    /// silently propagating `⊥`.
+    pub fn strict_inputs(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
     /// Initialise every register to `value` before the run.
     pub fn init_registers(mut self, value: i64) -> Self {
         for (_, vx) in self.g.dp.vertices().iter() {
@@ -212,17 +247,39 @@ impl<'g, E: Environment> Simulator<'g, E> {
         let t0 = (obs::trace_enabled() || (obs::stats_enabled() && self.step & 0xF == 0))
             .then(std::time::Instant::now);
         let g = self.g;
+        if let Some(plan) = &self.faults {
+            // Control faults strike before evaluation, so the evaluation
+            // itself remains a pure function of the (perturbed) marking.
+            plan.apply_control(&mut self.marking, self.step);
+            if self.marking.is_terminated() {
+                return Ok(None);
+            }
+            if self.enforce_safe {
+                if let Some(err) = self.over_full() {
+                    return Err(err);
+                }
+            }
+        }
+        let forced = self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.port_faults_active_at(self.step));
         let vals: Arc<StepValues> = {
             let _eval_span = obs::span("sim.eval");
             let env = &self.env;
             let cursors = &self.cursors;
-            let key = self.cache.as_ref().map(|h| StepKey {
-                design: h.design_fp,
-                env: h.env_fp,
-                marking: self.marking.stable_hash64(),
-                state: self.state.stable_hash64(),
-                cursors: cursors.stable_hash64(),
-            });
+            // Steps with an active data fault bypass the cache entirely:
+            // forced values are not a pure function of the configuration.
+            let key = match (&self.cache, forced) {
+                (Some(h), false) => Some(StepKey {
+                    design: h.design_fp,
+                    env: h.env_fp,
+                    marking: self.marking.stable_hash64(),
+                    state: self.state.stable_hash64(),
+                    cursors: cursors.stable_hash64(),
+                }),
+                _ => None,
+            };
             let cached = match (&self.cache, &key) {
                 (Some(h), Some(k)) => h.cache.lookup(k, &self.marking, &self.state, cursors),
                 _ => None,
@@ -237,13 +294,25 @@ impl<'g, E: Environment> Simulator<'g, E> {
                 Some(v) => v,
                 None => {
                     self.metrics.evals.inc();
-                    let fresh = Arc::new(self.evaluator.step(
-                        g,
-                        &self.marking,
-                        &self.state,
-                        self.step,
-                        |v| env.value_at(v, &g.dp.vertex(v).name, cursors.position(v)),
-                    )?);
+                    let step_no = self.step;
+                    let input = |v| env.value_at(v, &g.dp.vertex(v).name, cursors.position(v));
+                    let fresh = Arc::new(match self.faults.as_ref().filter(|_| forced) {
+                        Some(plan) => {
+                            let mut force = |p: PortId, v: Value| plan.force_value(p, v, step_no);
+                            self.evaluator.step_forced(
+                                g,
+                                &self.marking,
+                                &self.state,
+                                step_no,
+                                input,
+                                Some(&mut force),
+                            )?
+                        }
+                        None => {
+                            self.evaluator
+                                .step(g, &self.marking, &self.state, step_no, input)?
+                        }
+                    });
                     if let (Some(h), Some(k)) = (&self.cache, key) {
                         h.cache
                             .insert(k, &self.marking, &self.state, cursors, Arc::clone(&fresh));
@@ -263,7 +332,7 @@ impl<'g, E: Environment> Simulator<'g, E> {
             for &s in &exited {
                 self.exit_counts[s.idx()] += 1;
             }
-            self.commit_exits(&exited, &vals);
+            self.commit_exits(&exited, &vals)?;
             fired
         };
 
@@ -282,18 +351,30 @@ impl<'g, E: Environment> Simulator<'g, E> {
     /// Run to completion or `max_steps`, whichever comes first.
     pub fn run(mut self, max_steps: u64) -> Result<Trace, SimError> {
         let mut run_span = obs::span("sim.run");
+        let deadline = self.wall_budget.map(|b| Instant::now() + b);
         let termination = loop {
             if self.step >= max_steps {
                 break Termination::StepLimit;
+            }
+            // The wall-clock budget is checked every 64 steps: an
+            // `Instant::now` per step would dominate sub-microsecond steps.
+            if let Some(d) = deadline {
+                if self.step & 0x3F == 0 && Instant::now() >= d {
+                    break Termination::Budget;
+                }
             }
             match self.step_once()? {
                 Some(_) => {}
                 None => {
                     break if self.marking.is_terminated() {
                         Termination::Terminated
+                    } else if self.marking.enabled_transitions(&self.g.ctl).is_empty() {
+                        // No transition is even token-enabled: structurally
+                        // stuck, no guard flip could ever unblock it.
+                        Termination::Deadlock
                     } else {
                         Termination::Quiescent
-                    }
+                    };
                 }
             }
         };
@@ -340,25 +421,34 @@ impl<'g, E: Environment> Simulator<'g, E> {
         }
         exited.sort_unstable();
         exited.dedup();
-        if self.enforce_safe && !self.marking.is_safe() {
-            let place = self
-                .marking
-                .marked_places()
-                .into_iter()
-                .find(|&s| self.marking.count(s) > 1)
-                .expect("an over-full place exists");
-            return Err(SimError::UnsafeMarking {
-                place,
-                tokens: u64::from(self.marking.count(place)),
-                step: self.step,
-            });
+        if self.enforce_safe {
+            if let Some(err) = self.over_full() {
+                return Err(err);
+            }
         }
         self.firings += fired as u64;
         Ok((fired, exited))
     }
 
+    /// The safeness violation of the current marking, if any (Def. 3.2(2)).
+    fn over_full(&self) -> Option<SimError> {
+        if self.marking.is_safe() {
+            return None;
+        }
+        let place = self
+            .marking
+            .marked_places()
+            .into_iter()
+            .find(|&s| self.marking.count(s) > 1)?;
+        Some(SimError::UnsafeMarking {
+            place,
+            tokens: u64::from(self.marking.count(place)),
+            step: self.step,
+        })
+    }
+
     /// Commit the effects of the control states whose activation ended.
-    fn commit_exits(&mut self, exited: &[PlaceId], vals: &StepValues) {
+    fn commit_exits(&mut self, exited: &[PlaceId], vals: &StepValues) -> Result<(), SimError> {
         let g = self.g;
         // External events (Def. 3.4), labelled with the exiting state.
         for &s in exited {
@@ -389,8 +479,18 @@ impl<'g, E: Environment> Simulator<'g, E> {
             }
         }
         for v in advanced {
+            let position = self.cursors.position(v);
+            if self.strict && self.env.ran_dry(v, &g.dp.vertex(v).name, position) {
+                return Err(SimError::InputExhausted {
+                    vertex: v,
+                    name: g.dp.vertex(v).name.clone(),
+                    position,
+                    step: self.step,
+                });
+            }
             self.cursors.advance(v);
         }
+        Ok(())
     }
 }
 
@@ -547,6 +647,92 @@ mod tests {
         let t = run(-3);
         assert!(t.values_on_named_output(&g, "pos").is_empty());
         assert_eq!(t.values_on_named_output(&g, "neg"), vec![-3]);
+    }
+
+    #[test]
+    fn deadlock_distinguished_from_quiescence() {
+        // A join whose partner token never arrives: t requires s0 and s1
+        // but only s0 is marked — no transition is token-enabled.
+        let mut b = EtpnBuilder::new();
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        let s2 = b.place("s2");
+        let t = b.transition("t");
+        b.flow_st(s0, t);
+        b.flow_st(s1, t);
+        b.flow_ts(t, s2);
+        let fin = b.transition("fin");
+        b.flow_st(s2, fin);
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let trace = Simulator::new(&g, ScriptedEnv::new()).run(10).unwrap();
+        assert_eq!(trace.termination, Termination::Deadlock);
+        assert!(trace.termination.is_hang());
+        assert_eq!(trace.firings, 0);
+    }
+
+    #[test]
+    fn strict_inputs_name_the_dry_vertex() {
+        // Two sequential reads of x against a one-value stream: the second
+        // committed read runs dry.
+        let mut b = EtpnBuilder::new();
+        let x = b.input("x");
+        let r = b.register("r");
+        let y = b.output("y");
+        let load = b.connect(b.out_port(x, 0), b.in_port(r, 0));
+        let emit = b.connect(b.out_port(r, 0), b.in_port(y, 0));
+        let s = b.serial_chain(5, "s");
+        b.control(s[0], [load]);
+        b.control(s[1], [emit]);
+        b.control(s[2], [load]);
+        b.control(s[3], [emit]);
+        let t_end = b.transition("t_end");
+        b.flow_st(s[4], t_end);
+        let g = b.finish().unwrap();
+        let env = ScriptedEnv::new().with_stream("x", [10]);
+        // Default semantics: the dry read silently yields ⊥, the register
+        // keeps its old value, and the environment sees a stale repeat —
+        // exactly the bug class strict mode is for.
+        let trace = Simulator::new(&g, env.clone()).run(20).unwrap();
+        assert_eq!(trace.values_on_named_output(&g, "y"), vec![10, 10]);
+        // Strict mode: the dry read is an error naming the vertex.
+        let err = Simulator::new(&g, env).strict_inputs().run(20).unwrap_err();
+        match &err {
+            SimError::InputExhausted { name, position, .. } => {
+                assert_eq!(name, "x");
+                assert_eq!(*position, 1);
+            }
+            other => panic!("expected InputExhausted, got {other:?}"),
+        }
+        assert!(err.describe(&g).contains("`x`") || err.describe(&g).contains("ran dry"));
+        // A sufficient stream passes strict mode untouched.
+        let env = ScriptedEnv::new().with_stream("x", [10, 20]);
+        let trace = Simulator::new(&g, env).strict_inputs().run(20).unwrap();
+        assert_eq!(trace.values_on_named_output(&g, "y"), vec![10, 20]);
+    }
+
+    #[test]
+    fn wall_budget_cuts_an_endless_run() {
+        // The step_limit design loops forever; a zero budget stops it
+        // before the first step.
+        let mut b = EtpnBuilder::new();
+        let one = b.constant(1, "one");
+        let r = b.register("r");
+        let a = b.connect(b.out_port(one, 0), b.in_port(r, 0));
+        let s0 = b.place("s0");
+        b.control(s0, [a]);
+        let t = b.transition("t");
+        b.flow_st(s0, t);
+        b.flow_ts(t, s0);
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let trace = Simulator::new(&g, ScriptedEnv::new())
+            .with_wall_budget(std::time::Duration::ZERO)
+            .run(1_000_000)
+            .unwrap();
+        assert_eq!(trace.termination, Termination::Budget);
+        assert!(trace.termination.is_hang());
+        assert_eq!(trace.steps, 0);
     }
 
     #[test]

@@ -27,6 +27,18 @@ pub trait Environment {
     fn fingerprint(&self) -> Option<u64> {
         None
     }
+
+    /// True when the stream for `input` has *run dry* at position `k`: the
+    /// environment can say definitively that this and every later read
+    /// yields `⊥`. Environments that cannot tell (closures, infinite
+    /// generators) return `false`.
+    ///
+    /// The engine's strict-input mode (`Simulator::strict_inputs`) turns a
+    /// dry read into [`crate::error::SimError::InputExhausted`] naming the
+    /// vertex, instead of silently propagating `⊥`.
+    fn ran_dry(&self, _input: VertexId, _name: &str, _k: u64) -> bool {
+        false
+    }
 }
 
 /// An environment defined by explicit finite streams keyed by input-vertex
@@ -72,7 +84,18 @@ impl ScriptedEnv {
 
     /// The length of the shortest attached stream (0 when none).
     pub fn shortest_stream(&self) -> usize {
-        self.streams.values().map(Vec::len).min().unwrap_or(0)
+        self.shortest_stream_named().map_or(0, |(_, len)| len)
+    }
+
+    /// The shortest attached stream together with the input it feeds, or
+    /// `None` when no streams are attached. This is the stream that runs
+    /// dry first, so it names the input a hang diagnosis should point at
+    /// (ties broken by name for determinism).
+    pub fn shortest_stream_named(&self) -> Option<(&str, usize)> {
+        self.streams
+            .iter()
+            .map(|(name, seq)| (name.as_str(), seq.len()))
+            .min_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)))
     }
 }
 
@@ -85,6 +108,15 @@ impl Environment for ScriptedEnv {
                 None => Value::Undef,
             },
             None => Value::Undef,
+        }
+    }
+
+    /// A finite stream without `repeat_last` runs dry past its end; an
+    /// absent stream is dry from position 0 (every read yields `⊥`).
+    fn ran_dry(&self, _input: VertexId, name: &str, k: u64) -> bool {
+        match self.streams.get(name) {
+            Some(seq) => !self.repeat_last && k as usize >= seq.len(),
+            None => true,
         }
     }
 
@@ -191,6 +223,34 @@ mod tests {
         assert_eq!(env.value_at(v, "x", 3), Value::Undef);
         assert_eq!(env.value_at(v, "y", 0), Value::Undef);
         assert_eq!(env.shortest_stream(), 3);
+    }
+
+    #[test]
+    fn ran_dry_reports_exhaustion_precisely() {
+        let v = VertexId::new(0);
+        let env = ScriptedEnv::new().with_stream("x", [1, 2]);
+        assert!(!env.ran_dry(v, "x", 0));
+        assert!(!env.ran_dry(v, "x", 1));
+        assert!(env.ran_dry(v, "x", 2), "past-end read is dry");
+        assert!(env.ran_dry(v, "missing", 0), "absent stream is dry");
+        // repeat_last never runs dry.
+        let env = ScriptedEnv::new().with_stream("x", [7]).repeat_last();
+        assert!(!env.ran_dry(v, "x", 100));
+    }
+
+    #[test]
+    fn shortest_stream_names_the_dry_input() {
+        let env = ScriptedEnv::new()
+            .with_stream("long", [1, 2, 3])
+            .with_stream("short", [9]);
+        assert_eq!(env.shortest_stream_named(), Some(("short", 1)));
+        assert_eq!(env.shortest_stream(), 1);
+        assert_eq!(ScriptedEnv::new().shortest_stream_named(), None);
+        // Equal lengths: deterministic tie-break by name.
+        let env = ScriptedEnv::new()
+            .with_stream("b", [1])
+            .with_stream("a", [2]);
+        assert_eq!(env.shortest_stream_named(), Some(("a", 1)));
     }
 
     #[test]

@@ -6,8 +6,12 @@
 //! coordinate, and [`SimError::describe`] resolves the raw ids against the
 //! design for a human-readable account (the ids alone stay `Display`able
 //! for contexts that do not hold the graph).
+//!
+//! `describe` never panics, even when an error is resolved against a
+//! design the ids do not belong to (a transformed copy, or the wrong
+//! design entirely): unresolvable ids fall back to their raw form.
 
-use etpn_core::{ArcId, Etpn, PlaceId, PortId};
+use etpn_core::{ArcId, Etpn, PlaceId, PortId, VertexId};
 
 /// Errors raised during execution of the operational semantics.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -41,28 +45,78 @@ pub enum SimError {
         /// The step at which it happened.
         step: u64,
     },
+    /// An external input vertex read past the end of its finite stream
+    /// while the engine was configured with strict inputs
+    /// (`Simulator::strict_inputs`).
+    InputExhausted {
+        /// The input vertex whose stream ran dry.
+        vertex: VertexId,
+        /// The vertex name (kept inline so the error is self-describing
+        /// even without the design).
+        name: String,
+        /// The stream position of the dry read.
+        position: u64,
+        /// The step at which the dry read was committed.
+        step: u64,
+    },
+    /// The job panicked and the panic was contained by the fleet's per-job
+    /// isolation boundary (`Fleet::run_batch`). The panic never reached the
+    /// other jobs of the batch.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+        /// How many bounded retries were attempted before giving up.
+        retries: u64,
+    },
 }
 
 impl SimError {
-    /// The step at which the failure occurred.
-    pub fn step(&self) -> u64 {
+    /// The step at which the failure occurred, when one is known
+    /// ([`SimError::Panicked`] carries no step: the panic unwound the
+    /// engine before the coordinate could be recorded).
+    pub fn step(&self) -> Option<u64> {
         match self {
             SimError::InputConflict { step, .. }
             | SimError::CombinationalLoop { step, .. }
-            | SimError::UnsafeMarking { step, .. } => *step,
+            | SimError::UnsafeMarking { step, .. }
+            | SimError::InputExhausted { step, .. } => Some(*step),
+            SimError::Panicked { .. } => None,
         }
+    }
+
+    /// True for errors that correspond to a Def. 3.2 runtime monitor
+    /// firing (unsafe marking, input conflict, combinational loop): the
+    /// conditions a properly designed system can never exhibit, which is
+    /// exactly what makes them fault *detectors*.
+    pub fn is_monitor_trip(&self) -> bool {
+        matches!(
+            self,
+            SimError::InputConflict { .. }
+                | SimError::CombinationalLoop { .. }
+                | SimError::UnsafeMarking { .. }
+        )
     }
 
     /// Resolve the raw ids against the design the error came from: names
     /// the vertex owning a contended port, the arcs' driving vertices, or
-    /// the over-full place.
+    /// the over-full place. Ids that do not resolve in `g` (stale after a
+    /// transformation, or a mismatched design) degrade to their raw form
+    /// instead of panicking.
     pub fn describe(&self, g: &Etpn) -> String {
-        let vertex_of = |p: PortId| g.dp.vertex(g.dp.port(p).vertex).name.clone();
+        let vertex_of = |p: PortId| -> String {
+            g.dp.ports()
+                .get(p)
+                .and_then(|port| g.dp.vertices().get(port.vertex))
+                .map_or_else(|| format!("<unknown {p}>"), |vx| vx.name.clone())
+        };
         match self {
             SimError::InputConflict { port, arcs, step } => {
                 let drivers: Vec<String> = arcs
                     .iter()
-                    .map(|&a| format!("{a} from `{}`", vertex_of(g.dp.arc(a).from)))
+                    .map(|&a| match g.dp.arcs().get(a) {
+                        Some(arc) => format!("{a} from `{}`", vertex_of(arc.from)),
+                        None => format!("{a} (unresolved)"),
+                    })
                     .collect();
                 format!(
                     "input port {port} of `{}` driven by {} open arcs at step {step}: {}",
@@ -82,10 +136,25 @@ impl SimError {
                 tokens,
                 step,
             } => {
+                let name = g
+                    .ctl
+                    .places()
+                    .get(*place)
+                    .map_or_else(|| format!("<unknown {place}>"), |p| p.name.clone());
+                format!("place {place} (`{name}`) holds {tokens} tokens at step {step}")
+            }
+            SimError::InputExhausted {
+                vertex,
+                name,
+                position,
+                step,
+            } => {
                 format!(
-                    "place {place} (`{}`) holds {tokens} tokens at step {step}",
-                    g.ctl.place(*place).name
+                    "input `{name}` ({vertex}) ran dry at stream position {position}, step {step}"
                 )
+            }
+            SimError::Panicked { message, retries } => {
+                format!("job panicked after {retries} retries: {message}")
             }
         }
     }
@@ -111,6 +180,20 @@ impl std::fmt::Display for SimError {
             } => {
                 write!(f, "place {place} holds {tokens} tokens at step {step}")
             }
+            SimError::InputExhausted {
+                name,
+                position,
+                step,
+                ..
+            } => {
+                write!(
+                    f,
+                    "input `{name}` ran dry at position {position}, step {step}"
+                )
+            }
+            SimError::Panicked { message, retries } => {
+                write!(f, "job panicked after {retries} retries: {message}")
+            }
         }
     }
 }
@@ -122,8 +205,7 @@ mod tests {
     use super::*;
     use etpn_core::builder::EtpnBuilder;
 
-    #[test]
-    fn describe_resolves_names() {
+    fn small_design() -> (Etpn, ArcId, ArcId, PlaceId) {
         let mut b = EtpnBuilder::new();
         let c1 = b.constant(1, "one");
         let c2 = b.constant(2, "two");
@@ -135,7 +217,12 @@ mod tests {
         let s1 = b.place("next");
         b.seq(s0, s1, "t0");
         b.mark(s0);
-        let g = b.finish().unwrap();
+        (b.finish().unwrap(), a1, a2, s0)
+    }
+
+    #[test]
+    fn describe_resolves_names() {
+        let (g, a1, a2, s0) = small_design();
 
         let port = g.dp.arc(a1).to;
         let err = SimError::InputConflict {
@@ -147,7 +234,7 @@ mod tests {
         assert!(msg.contains("`acc`"), "{msg}");
         assert!(msg.contains("`one`") && msg.contains("`two`"), "{msg}");
         assert!(msg.contains("step 4"), "{msg}");
-        assert_eq!(err.step(), 4);
+        assert_eq!(err.step(), Some(4));
 
         let err = SimError::UnsafeMarking {
             place: s0,
@@ -156,5 +243,77 @@ mod tests {
         };
         assert!(err.describe(&g).contains("`load`"));
         assert!(err.describe(&g).contains("2 tokens"));
+    }
+
+    /// Every variant's `describe` must survive resolution against a design
+    /// its ids do not exist in — out-of-range ids degrade to raw form.
+    #[test]
+    fn describe_never_panics_on_stale_ids() {
+        let (g, ..) = small_design();
+        let bogus_port = PortId::new(9_999);
+        let bogus_arc = ArcId::new(9_999);
+        let bogus_place = PlaceId::new(9_999);
+        let bogus_vertex = VertexId::new(9_999);
+        let all = vec![
+            SimError::InputConflict {
+                port: bogus_port,
+                arcs: vec![bogus_arc],
+                step: 1,
+            },
+            SimError::CombinationalLoop {
+                port: bogus_port,
+                step: 2,
+            },
+            SimError::UnsafeMarking {
+                place: bogus_place,
+                tokens: 3,
+                step: 3,
+            },
+            SimError::InputExhausted {
+                vertex: bogus_vertex,
+                name: "x".into(),
+                position: 7,
+                step: 4,
+            },
+            SimError::Panicked {
+                message: "boom".into(),
+                retries: 1,
+            },
+        ];
+        for err in &all {
+            let described = err.describe(&g);
+            assert!(!described.is_empty(), "{err:?}");
+            // Display must also stay total.
+            assert!(!format!("{err}").is_empty());
+        }
+        assert!(all[0].describe(&g).contains("unknown"));
+        assert!(all[2].describe(&g).contains("unknown"));
+    }
+
+    #[test]
+    fn step_and_monitor_classification() {
+        let exhausted = SimError::InputExhausted {
+            vertex: VertexId::new(0),
+            name: "a".into(),
+            position: 3,
+            step: 12,
+        };
+        assert_eq!(exhausted.step(), Some(12));
+        assert!(!exhausted.is_monitor_trip());
+
+        let panicked = SimError::Panicked {
+            message: "eval exploded".into(),
+            retries: 2,
+        };
+        assert_eq!(panicked.step(), None);
+        assert!(!panicked.is_monitor_trip());
+        assert!(format!("{panicked}").contains("eval exploded"));
+
+        let unsafe_m = SimError::UnsafeMarking {
+            place: PlaceId::new(0),
+            tokens: 2,
+            step: 0,
+        };
+        assert!(unsafe_m.is_monitor_trip());
     }
 }

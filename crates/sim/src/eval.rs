@@ -141,7 +141,28 @@ impl Evaluator {
         marking: &Marking,
         state: &DpState,
         step_no: u64,
+        input_value: impl FnMut(VertexId) -> Value,
+    ) -> Result<StepValues, SimError> {
+        self.step_forced(g, marking, state, step_no, input_value, None)
+    }
+
+    /// [`Evaluator::step`] with an optional per-port value override — the
+    /// fault-injection hook (`etpn_sim::fault`).
+    ///
+    /// When `force` is present it is applied to every port value *at
+    /// assignment time*, before the value propagates, so a forced output
+    /// (a stuck-at or bit-flip fault) flows through downstream
+    /// combinational logic, guards and external arcs exactly like a real
+    /// silicon fault would. The clean path passes `None` and pays one
+    /// branch per port.
+    pub fn step_forced(
+        &mut self,
+        g: &Etpn,
+        marking: &Marking,
+        state: &DpState,
+        step_no: u64,
         mut input_value: impl FnMut(VertexId) -> Value,
+        mut force: Option<&mut dyn FnMut(PortId, Value) -> Value>,
     ) -> Result<StepValues, SimError> {
         let arc_bound = g.dp.arcs().capacity_bound();
         let mut open = BitSet::new(arc_bound);
@@ -220,6 +241,10 @@ impl Evaluator {
                         op.eval(&args).expect("combinatorial op evaluates")
                     }
                 },
+            };
+            let v = match force.as_mut() {
+                Some(f) => f(p, v),
+                None => v,
             };
             values[p.idx()] = v;
 
@@ -346,6 +371,28 @@ mod tests {
         // Register output still undefined (latches at end of step).
         let r = g.dp.vertex_by_name("r").unwrap();
         assert_eq!(vals.value(g.dp.out_port(r, 0)), Value::Undef);
+    }
+
+    #[test]
+    fn forced_port_value_propagates_downstream() {
+        let (g, _) = add_design();
+        let m = Marking::initial(&g.ctl);
+        let state = DpState::new(&g);
+        let mut ev = Evaluator::new(&g);
+        let x = g.dp.vertex_by_name("x").unwrap();
+        let xp = g.dp.out_port(x, 0);
+        // Stuck-at-0 on x's output: the adder must see the forced value.
+        let mut force = |p: PortId, v: Value| if p == xp { Value::Def(0) } else { v };
+        let vals = ev
+            .step_forced(&g, &m, &state, 0, |_| Value::Def(5), Some(&mut force))
+            .unwrap();
+        assert_eq!(vals.value(xp), Value::Def(0));
+        let add = g.dp.vertex_by_name("add").unwrap();
+        assert_eq!(
+            vals.value(g.dp.out_port(add, 0)),
+            Value::Def(5),
+            "forced 0 + clean 5"
+        );
     }
 
     #[test]

@@ -1,0 +1,875 @@
+//! Fault injection and fault-simulation campaigns.
+//!
+//! The properly-designed conditions of Def. 3.2 (safeness,
+//! conflict-freeness, no shared resources, no combinational loops) are
+//! exactly the invariants a hardware design loses first under faults, and
+//! the observational semantics (Defs. 3.3–3.6) give a precise oracle for
+//! "did the fault change externally visible behaviour". This module puts
+//! both to work as the canonical EDA robustness workload: simulate a
+//! *golden* (fault-free) run, then re-simulate under injected faults and
+//! classify each fault by what the environment could observe.
+//!
+//! * [`FaultPlan`] describes *what* to inject: stuck-at-0/1 and
+//!   single-bit-flip faults on data-path ports (transient or permanent),
+//!   and token loss/duplication in a control place. Plans are enumerable
+//!   ([`FaultPlan::sweep_data_ports`]) and seedable
+//!   ([`FaultPlan::random_faults`]).
+//! * The engine applies a plan via `Simulator::with_faults`: port faults
+//!   hook value assignment inside the evaluator
+//!   (`Evaluator::step_forced`), control faults perturb the marking before
+//!   each step. The clean path is untouched — no plan, no hook.
+//! * [`run_campaign`] fans a one-fault-per-job sweep over a
+//!   [`Fleet`](crate::fleet::Fleet), compares each faulty event structure
+//!   against the golden one, and partitions the faults into
+//!   [`FaultClass::Masked`] / [`FaultClass::SilentCorruption`] /
+//!   [`FaultClass::Detected`] (a Def. 3.2 runtime monitor fired) /
+//!   [`FaultClass::Hang`], with a per-vertex vulnerability map renderable
+//!   as a heat-graded DOT graph.
+
+use crate::env::Environment;
+use crate::equiv::{compare_structures, EquivalenceVerdict};
+use crate::error::SimError;
+use crate::extract::event_structure;
+use crate::fleet::{Fleet, FleetStats, SimJob};
+use crate::trace::{Termination, Trace};
+use etpn_core::dot::{datapath_dot_heat, DataHeat};
+use etpn_core::{Etpn, EventStructure, Marking, PlaceId, PortId, Value};
+use etpn_obs as obs;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// What a fault does at its site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The port's value is forced to the defined constant `0`.
+    StuckAt0,
+    /// The port's value is forced to the defined constant `1`.
+    StuckAt1,
+    /// Bit `b` (mod 64) of a defined value is inverted; `⊥` is left alone
+    /// (there is no bit to flip in an undefined signal).
+    BitFlip(u32),
+    /// The token in a control place vanishes (a lost request/ack).
+    TokenLoss,
+    /// The token in a control place is doubled (a spurious re-fire). On a
+    /// safeness-enforcing run this trips the Def. 3.2(2) monitor at once.
+    TokenDup,
+}
+
+impl FaultKind {
+    /// True for the kinds that apply to data-path ports.
+    pub fn is_data(self) -> bool {
+        matches!(
+            self,
+            FaultKind::StuckAt0 | FaultKind::StuckAt1 | FaultKind::BitFlip(_)
+        )
+    }
+
+    /// True for the kinds that apply to control places.
+    pub fn is_control(self) -> bool {
+        !self.is_data()
+    }
+
+    /// The faulty value a data fault produces from the clean value `v`.
+    /// Control kinds return `v` unchanged.
+    pub fn apply(self, v: Value) -> Value {
+        match self {
+            FaultKind::StuckAt0 => Value::Def(0),
+            FaultKind::StuckAt1 => Value::Def(1),
+            FaultKind::BitFlip(b) => match v {
+                Value::Def(x) => Value::Def(x ^ (1i64 << (b % 64))),
+                Value::Undef => Value::Undef,
+            },
+            FaultKind::TokenLoss | FaultKind::TokenDup => v,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::StuckAt0 => write!(f, "stuck-at-0"),
+            FaultKind::StuckAt1 => write!(f, "stuck-at-1"),
+            FaultKind::BitFlip(b) => write!(f, "bit-flip({b})"),
+            FaultKind::TokenLoss => write!(f, "token-loss"),
+            FaultKind::TokenDup => write!(f, "token-dup"),
+        }
+    }
+}
+
+/// Where a fault strikes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultSite {
+    /// A data-path port (input or output side).
+    Port(PortId),
+    /// A control place.
+    Place(PlaceId),
+}
+
+/// When a fault is active.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultWindow {
+    /// Active during exactly one control step.
+    Transient(u64),
+    /// Active from the given step onwards.
+    Permanent(u64),
+}
+
+impl FaultWindow {
+    /// Is the fault active at `step`?
+    pub fn active_at(self, step: u64) -> bool {
+        match self {
+            FaultWindow::Transient(s) => step == s,
+            FaultWindow::Permanent(from) => step >= from,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultWindow::Transient(s) => write!(f, "transient@{s}"),
+            FaultWindow::Permanent(s) => write!(f, "permanent@{s}"),
+        }
+    }
+}
+
+/// One concrete fault: a kind at a site over a window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// Where it strikes.
+    pub site: FaultSite,
+    /// What it does.
+    pub kind: FaultKind,
+    /// When it is active.
+    pub window: FaultWindow,
+}
+
+impl Fault {
+    /// Human-readable account, resolving the site against the design
+    /// (unresolvable ids degrade to raw form, as in `SimError::describe`).
+    pub fn describe(&self, g: &Etpn) -> String {
+        let site = match self.site {
+            FaultSite::Port(p) => match g.dp.ports().get(p) {
+                Some(port) => {
+                    let owner =
+                        g.dp.vertices()
+                            .get(port.vertex)
+                            .map_or_else(|| port.vertex.to_string(), |vx| vx.name.clone());
+                    format!("{p} of `{owner}`")
+                }
+                None => format!("{p} (unresolved)"),
+            },
+            FaultSite::Place(s) => match g.ctl.places().get(s) {
+                Some(place) => format!("{s} (`{}`)", place.name),
+                None => format!("{s} (unresolved)"),
+            },
+        };
+        format!("{} on {site}, {}", self.kind, self.window)
+    }
+}
+
+/// A set of faults to inject into one run.
+///
+/// The typical campaign plan holds exactly one fault
+/// ([`FaultPlan::single`]); multi-fault plans model correlated upsets.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The single-fault plan campaigns sweep with.
+    pub fn single(fault: Fault) -> Self {
+        Self {
+            faults: vec![fault],
+        }
+    }
+
+    /// Add a fault.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The faults of this plan.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Is any *data* (port) fault active at `step`? The engine bypasses
+    /// the memo cache exactly on such steps: a forced value is not a pure
+    /// function of the step configuration, so neither serving nor
+    /// publishing a cache entry would be sound.
+    pub fn port_faults_active_at(&self, step: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f.site, FaultSite::Port(_)) && f.kind.is_data() && f.window.active_at(step)
+        })
+    }
+
+    /// The value port `p` takes at `step`, after all active data faults on
+    /// it are applied to the clean value `v`.
+    pub fn force_value(&self, p: PortId, v: Value, step: u64) -> Value {
+        self.faults.iter().fold(v, |v, f| {
+            if f.site == FaultSite::Port(p) && f.kind.is_data() && f.window.active_at(step) {
+                f.kind.apply(v)
+            } else {
+                v
+            }
+        })
+    }
+
+    /// Apply the control faults active at `step` to the marking. Token
+    /// loss/duplication only acts on a place that currently holds a token
+    /// (there is nothing to lose or duplicate otherwise). These mutate the
+    /// configuration *before* evaluation, so the evaluation itself stays a
+    /// pure — and cacheable — function of the perturbed configuration.
+    pub fn apply_control(&self, m: &mut Marking, step: u64) {
+        for f in &self.faults {
+            let FaultSite::Place(s) = f.site else {
+                continue;
+            };
+            if !f.window.active_at(step) || m.count(s) == 0 {
+                continue;
+            }
+            match f.kind {
+                FaultKind::TokenLoss => m.remove(s),
+                FaultKind::TokenDup => m.add(s),
+                _ => {}
+            }
+        }
+    }
+
+    /// Enumerate the one-fault-per-campaign sweep: every `kind` at every
+    /// live data-path port. Stuck-at faults are permanent from step 0;
+    /// bit flips are transient at `transient_step`.
+    pub fn sweep_data_ports(g: &Etpn, kinds: &[FaultKind], transient_step: u64) -> Vec<Fault> {
+        let mut out = Vec::new();
+        for p in g.dp.ports().ids() {
+            for &kind in kinds.iter().filter(|k| k.is_data()) {
+                let window = match kind {
+                    FaultKind::BitFlip(_) => FaultWindow::Transient(transient_step),
+                    _ => FaultWindow::Permanent(0),
+                };
+                out.push(Fault {
+                    site: FaultSite::Port(p),
+                    kind,
+                    window,
+                });
+            }
+        }
+        out
+    }
+
+    /// Enumerate transient token loss and duplication at every control
+    /// place, striking at `step`.
+    pub fn sweep_control_places(g: &Etpn, step: u64) -> Vec<Fault> {
+        let mut out = Vec::new();
+        for s in g.ctl.places().ids() {
+            for kind in [FaultKind::TokenLoss, FaultKind::TokenDup] {
+                out.push(Fault {
+                    site: FaultSite::Place(s),
+                    kind,
+                    window: FaultWindow::Transient(step),
+                });
+            }
+        }
+        out
+    }
+
+    /// Sample `n` faults at random (seed-deterministic): mostly data
+    /// faults over the ports, a fifth control faults over the places, with
+    /// strike steps drawn from `0..max_step`.
+    pub fn random_faults(g: &Etpn, seed: u64, n: usize, max_step: u64) -> Vec<Fault> {
+        let ports: Vec<PortId> = g.dp.ports().ids().collect();
+        let places: Vec<PlaceId> = g.ctl.places().ids().collect();
+        if ports.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let step = rng.gen_range(0..max_step.max(1));
+                if !places.is_empty() && rng.gen_bool(0.2) {
+                    Fault {
+                        site: FaultSite::Place(places[rng.gen_range(0..places.len())]),
+                        kind: if rng.gen_bool(0.5) {
+                            FaultKind::TokenLoss
+                        } else {
+                            FaultKind::TokenDup
+                        },
+                        window: FaultWindow::Transient(step),
+                    }
+                } else {
+                    let kind = match rng.gen_range(0..3u32) {
+                        0 => FaultKind::StuckAt0,
+                        1 => FaultKind::StuckAt1,
+                        _ => FaultKind::BitFlip(rng.gen_range(0..16u32)),
+                    };
+                    Fault {
+                        site: FaultSite::Port(ports[rng.gen_range(0..ports.len())]),
+                        kind,
+                        window: if rng.gen_bool(0.5) {
+                            FaultWindow::Transient(step)
+                        } else {
+                            FaultWindow::Permanent(step)
+                        },
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// The observable effect of one injected fault, relative to the golden run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    /// The external event structure is unchanged: the fault was absorbed.
+    Masked,
+    /// The run completed normally but the environment saw different
+    /// events — the dangerous case (SDC).
+    SilentCorruption,
+    /// The run aborted with a diagnosable [`SimError`]: a Def. 3.2 runtime
+    /// monitor fired (unsafe marking, input conflict, combinational loop),
+    /// or the job panicked / ran an input dry and the fleet contained it.
+    Detected,
+    /// The run was cut short or stuck: deadlock, step limit, or wall-clock
+    /// budget (and the golden run was not).
+    Hang,
+}
+
+impl FaultClass {
+    /// All classes, in report order.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::Masked,
+        FaultClass::SilentCorruption,
+        FaultClass::Detected,
+        FaultClass::Hang,
+    ];
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultClass::Masked => write!(f, "masked"),
+            FaultClass::SilentCorruption => write!(f, "sdc"),
+            FaultClass::Detected => write!(f, "detected"),
+            FaultClass::Hang => write!(f, "hang"),
+        }
+    }
+}
+
+/// One fault's campaign verdict.
+#[derive(Clone, Debug)]
+pub struct FaultOutcome {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Its classification.
+    pub class: FaultClass,
+    /// Supporting detail: the first event difference, the error
+    /// description, or the hang termination.
+    pub detail: String,
+}
+
+/// Knobs of a [`run_campaign`] sweep.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Data-fault kinds swept over every port.
+    pub kinds: Vec<FaultKind>,
+    /// Also sweep token loss/duplication over every control place.
+    pub include_control: bool,
+    /// Strike step for transient faults (bit flips, token faults).
+    pub transient_step: u64,
+    /// Fleet worker threads (`0` = one per CPU).
+    pub workers: usize,
+    /// Bounded retries for panicked jobs (cache bypassed on retry).
+    pub retries: u64,
+    /// Per-job wall-clock budget; overruns classify as [`FaultClass::Hang`].
+    pub wall_budget: Option<Duration>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            kinds: vec![
+                FaultKind::StuckAt0,
+                FaultKind::StuckAt1,
+                FaultKind::BitFlip(0),
+            ],
+            include_control: false,
+            transient_step: 1,
+            workers: 0,
+            retries: 1,
+            wall_budget: None,
+        }
+    }
+}
+
+/// The resilience report of one campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// One verdict per planned fault, in sweep order.
+    pub outcomes: Vec<FaultOutcome>,
+    /// How the golden run ended.
+    pub golden_termination: Termination,
+    /// External events of the golden run.
+    pub golden_events: usize,
+    /// The golden run re-executed after the sweep produced the identical
+    /// event structure — i.e. no faulty job leaked state into the clean
+    /// path (via the cache or otherwise).
+    pub golden_unchanged: bool,
+    /// Fleet scheduling/cache/panic counters for the faulty batch.
+    pub fleet: FleetStats,
+    planned: usize,
+}
+
+impl CampaignReport {
+    /// Number of faults classified as `class`.
+    pub fn count(&self, class: FaultClass) -> usize {
+        self.outcomes.iter().filter(|o| o.class == class).count()
+    }
+
+    /// The masked/SDC/detected/hang partition is *total*: every planned
+    /// fault got exactly one class and none was dropped. A `false` here
+    /// means a campaign abort.
+    pub fn is_total_partition(&self) -> bool {
+        self.outcomes.len() == self.planned
+            && FaultClass::ALL
+                .iter()
+                .map(|&c| self.count(c))
+                .sum::<usize>()
+                == self.planned
+    }
+
+    /// Silent corruptions per data-path vertex (raw-vertex-id indexed):
+    /// the vulnerability profile. A vertex scores once for each of its
+    /// ports' faults that corrupted the output without being detected.
+    pub fn sdc_by_vertex(&self, g: &Etpn) -> Vec<u64> {
+        let mut counts = vec![0u64; g.dp.vertices().capacity_bound()];
+        for o in &self.outcomes {
+            if o.class != FaultClass::SilentCorruption {
+                continue;
+            }
+            if let FaultSite::Port(p) = o.fault.site {
+                if let Some(port) = g.dp.ports().get(p) {
+                    counts[port.vertex.idx()] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The vulnerability map as a heat-graded DOT graph (white = no SDC,
+    /// deep red = most SDC-prone vertex), companion to `dot --heat`.
+    pub fn vulnerability_dot(&self, g: &Etpn) -> String {
+        datapath_dot_heat(
+            g,
+            &DataHeat {
+                vertex_counts: &self.sdc_by_vertex(g),
+            },
+        )
+    }
+
+    /// Multi-line human-readable resilience report.
+    pub fn summary(&self, g: &Etpn) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fault campaign: {} faults, golden {:?} with {} events",
+            self.planned, self.golden_termination, self.golden_events
+        );
+        for class in FaultClass::ALL {
+            let _ = writeln!(s, "  {class:<8} {}", self.count(class));
+        }
+        let _ = writeln!(
+            s,
+            "  partition total: {}",
+            if self.is_total_partition() {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+        let _ = writeln!(
+            s,
+            "  golden unchanged: {}",
+            if self.golden_unchanged { "yes" } else { "NO" }
+        );
+        let sdc: Vec<&FaultOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.class == FaultClass::SilentCorruption)
+            .collect();
+        if !sdc.is_empty() {
+            let _ = writeln!(
+                s,
+                "  silent corruptions (worst first {} shown):",
+                sdc.len().min(10)
+            );
+            for o in sdc.iter().take(10) {
+                let _ = writeln!(s, "    {} — {}", o.fault.describe(g), o.detail);
+            }
+        }
+        if self.fleet.panics > 0 {
+            let _ = writeln!(
+                s,
+                "  contained panics: {} ({} retried)",
+                self.fleet.panics, self.fleet.retried
+            );
+        }
+        s
+    }
+}
+
+/// Classify one faulty result against the golden event structure.
+fn classify(
+    g: &Etpn,
+    golden: &EventStructure,
+    golden_termination: Termination,
+    result: &Result<Trace, SimError>,
+) -> (FaultClass, String) {
+    match result {
+        Err(e) => (FaultClass::Detected, e.describe(g)),
+        Ok(t) if t.termination.is_hang() && !golden_termination.is_hang() => (
+            FaultClass::Hang,
+            format!("{:?} after {} steps", t.termination, t.steps),
+        ),
+        Ok(t) => match compare_structures(golden, &event_structure(g, t)) {
+            EquivalenceVerdict::Equivalent => (FaultClass::Masked, String::new()),
+            EquivalenceVerdict::Different(d) => (FaultClass::SilentCorruption, d),
+        },
+    }
+}
+
+/// Run a one-fault-per-job campaign: the golden run (uncached, on the
+/// calling thread), then every planned fault as a fleet job, then the
+/// golden run once more to prove the clean path is unperturbed.
+///
+/// `proto` is the job template — design, environment, policy, step budget
+/// and register initialisation are all taken from it; the sweep only adds
+/// the fault plan (and `cfg.wall_budget`, when set).
+pub fn run_campaign<'g, E>(
+    proto: &SimJob<'g, E>,
+    cfg: &CampaignConfig,
+) -> Result<CampaignReport, SimError>
+where
+    E: Environment + Clone + Send,
+{
+    let _span = obs::span("fault.campaign");
+    let g = proto.design();
+    let golden_trace = proto.clone().run_uncached()?;
+    let golden_es = event_structure(g, &golden_trace);
+
+    let mut faults = FaultPlan::sweep_data_ports(g, &cfg.kinds, cfg.transient_step);
+    if cfg.include_control {
+        faults.extend(FaultPlan::sweep_control_places(g, cfg.transient_step));
+    }
+    let planned = faults.len();
+
+    let jobs: Vec<SimJob<'g, E>> = faults
+        .iter()
+        .map(|&f| {
+            let mut j = proto.clone().with_faults(FaultPlan::single(f));
+            if let Some(b) = cfg.wall_budget {
+                j = j.wall_budget(b);
+            }
+            j
+        })
+        .collect();
+    let fleet = Fleet::new(cfg.workers).with_retries(cfg.retries);
+    let batch = fleet.run_batch(jobs);
+
+    let outcomes: Vec<FaultOutcome> = faults
+        .into_iter()
+        .zip(&batch.results)
+        .map(|(fault, result)| {
+            let (class, detail) = classify(g, &golden_es, golden_trace.termination, result);
+            FaultOutcome {
+                fault,
+                class,
+                detail,
+            }
+        })
+        .collect();
+
+    // Prove the clean path unperturbed: the golden run, repeated after the
+    // sweep, must reproduce the identical observation.
+    let golden_again = proto.clone().run_uncached()?;
+    let golden_unchanged = golden_again.termination == golden_trace.termination
+        && compare_structures(&golden_es, &event_structure(g, &golden_again)).is_equivalent();
+
+    let report = CampaignReport {
+        outcomes,
+        golden_termination: golden_trace.termination,
+        golden_events: golden_trace.event_count(),
+        golden_unchanged,
+        fleet: batch.stats,
+        planned,
+    };
+    let reg = obs::global();
+    reg.counter("fault.campaign.runs").inc();
+    reg.counter("fault.campaign.faults").add(planned as u64);
+    reg.counter("fault.campaign.masked")
+        .add(report.count(FaultClass::Masked) as u64);
+    reg.counter("fault.campaign.sdc")
+        .add(report.count(FaultClass::SilentCorruption) as u64);
+    reg.counter("fault.campaign.detected")
+        .add(report.count(FaultClass::Detected) as u64);
+    reg.counter("fault.campaign.hangs")
+        .add(report.count(FaultClass::Hang) as u64);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::env::ScriptedEnv;
+    use crate::fleet::EvalCache;
+    use etpn_core::{EtpnBuilder, Op};
+    use std::sync::Arc;
+
+    /// s0: load r := a + b;  s1: emit r to y;  then terminate.
+    fn add_once() -> Etpn {
+        let mut b = EtpnBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let add = b.operator(Op::Add, 2, "add");
+        let r = b.register("r");
+        let out = b.output("y");
+        let arc_a = b.connect(b.out_port(a, 0), b.in_port(add, 0));
+        let arc_b = b.connect(b.out_port(c, 0), b.in_port(add, 1));
+        let load = b.connect(b.out_port(add, 0), b.in_port(r, 0));
+        let emit = b.connect(b.out_port(r, 0), b.in_port(out, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        let s_end = b.place("end");
+        b.control(s0, [arc_a, arc_b, load]);
+        b.control(s1, [emit]);
+        b.seq(s0, s1, "t0");
+        b.seq(s1, s_end, "t1");
+        let t2 = b.transition("t2");
+        b.flow_st(s_end, t2);
+        b.mark(s0);
+        b.finish().unwrap()
+    }
+
+    fn env_ab(a: i64, b: i64) -> ScriptedEnv {
+        ScriptedEnv::new()
+            .with_stream("a", [a])
+            .with_stream("b", [b])
+    }
+
+    #[test]
+    fn kinds_and_windows() {
+        assert_eq!(FaultKind::StuckAt0.apply(Value::Def(41)), Value::Def(0));
+        assert_eq!(FaultKind::StuckAt1.apply(Value::Undef), Value::Def(1));
+        assert_eq!(FaultKind::BitFlip(0).apply(Value::Def(6)), Value::Def(7));
+        assert_eq!(FaultKind::BitFlip(3).apply(Value::Undef), Value::Undef);
+        assert!(FaultWindow::Transient(4).active_at(4));
+        assert!(!FaultWindow::Transient(4).active_at(5));
+        assert!(FaultWindow::Permanent(4).active_at(9));
+        assert!(!FaultWindow::Permanent(4).active_at(3));
+    }
+
+    #[test]
+    fn stuck_at_fault_corrupts_the_output() {
+        let g = add_once();
+        let x_out = g.dp.vertex(g.dp.vertex_by_name("a").unwrap()).outputs[0];
+        let fault = Fault {
+            site: FaultSite::Port(x_out),
+            kind: FaultKind::StuckAt0,
+            window: FaultWindow::Permanent(0),
+        };
+        let t = Simulator::new(&g, env_ab(3, 4))
+            .with_faults(FaultPlan::single(fault))
+            .run(10)
+            .unwrap();
+        assert_eq!(t.values_on_named_output(&g, "y"), vec![4], "a forced to 0");
+        assert!(fault.describe(&g).contains("`a`"), "{}", fault.describe(&g));
+    }
+
+    #[test]
+    fn transient_fault_outside_its_window_is_absorbed() {
+        let g = add_once();
+        let x_out = g.dp.vertex(g.dp.vertex_by_name("a").unwrap()).outputs[0];
+        // The load happens at step 0; a flip at step 99 never strikes.
+        let fault = Fault {
+            site: FaultSite::Port(x_out),
+            kind: FaultKind::BitFlip(0),
+            window: FaultWindow::Transient(99),
+        };
+        let t = Simulator::new(&g, env_ab(3, 4))
+            .with_faults(FaultPlan::single(fault))
+            .run(10)
+            .unwrap();
+        assert_eq!(t.values_on_named_output(&g, "y"), vec![7]);
+    }
+
+    #[test]
+    fn token_loss_deadlocks_a_join() {
+        // t requires tokens in both s0 and s1; losing s1's token at step 0
+        // leaves the net structurally stuck.
+        let mut b = EtpnBuilder::new();
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        let s2 = b.place("s2");
+        let t = b.transition("t");
+        b.flow_st(s0, t);
+        b.flow_st(s1, t);
+        b.flow_ts(t, s2);
+        let fin = b.transition("fin");
+        b.flow_st(s2, fin);
+        b.mark(s0);
+        b.mark(s1);
+        let g = b.finish().unwrap();
+        let fault = Fault {
+            site: FaultSite::Place(s1),
+            kind: FaultKind::TokenLoss,
+            window: FaultWindow::Transient(0),
+        };
+        let t = Simulator::new(&g, ScriptedEnv::new())
+            .with_faults(FaultPlan::single(fault))
+            .run(10)
+            .unwrap();
+        assert_eq!(t.termination, Termination::Deadlock);
+        assert!(t.termination.is_hang());
+        // Without the fault the join fires and the run terminates.
+        let clean = Simulator::new(&g, ScriptedEnv::new()).run(10).unwrap();
+        assert_eq!(clean.termination, Termination::Terminated);
+    }
+
+    #[test]
+    fn token_duplication_trips_the_safeness_monitor() {
+        let g = add_once();
+        let s0 = g.ctl.place_by_name("s0").unwrap();
+        let fault = Fault {
+            site: FaultSite::Place(s0),
+            kind: FaultKind::TokenDup,
+            window: FaultWindow::Transient(0),
+        };
+        let err = Simulator::new(&g, env_ab(1, 2))
+            .with_faults(FaultPlan::single(fault))
+            .run(10)
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsafeMarking { .. }), "{err}");
+        assert!(err.is_monitor_trip(), "Def 3.2 monitor acts as detector");
+    }
+
+    #[test]
+    fn sweep_enumerates_every_port_and_kind() {
+        let g = add_once();
+        let kinds = [
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::BitFlip(0),
+        ];
+        let faults = FaultPlan::sweep_data_ports(&g, &kinds, 1);
+        assert_eq!(faults.len(), g.dp.ports().len() * kinds.len());
+        // Every port is covered by every kind.
+        for p in g.dp.ports().ids() {
+            for &k in &kinds {
+                assert!(faults
+                    .iter()
+                    .any(|f| f.site == FaultSite::Port(p) && f.kind == k));
+            }
+        }
+        let ctl = FaultPlan::sweep_control_places(&g, 0);
+        assert_eq!(ctl.len(), g.ctl.places().len() * 2);
+    }
+
+    #[test]
+    fn random_faults_are_seed_deterministic() {
+        let g = add_once();
+        let a = FaultPlan::random_faults(&g, 42, 20, 10);
+        let b = FaultPlan::random_faults(&g, 42, 20, 10);
+        let c = FaultPlan::random_faults(&g, 43, 20, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seed, different faults");
+        assert_eq!(a.len(), 20);
+    }
+
+    /// A faulty run sharing a cache with clean runs must neither serve the
+    /// clean runs corrupted values nor be served clean values on its
+    /// forced steps.
+    #[test]
+    fn faulty_runs_do_not_pollute_a_shared_cache() {
+        let g = add_once();
+        let cache = Arc::new(EvalCache::new());
+        let clean_before = SimJob::new(&g, env_ab(3, 4)).run(&cache).unwrap();
+
+        let x_out = g.dp.vertex(g.dp.vertex_by_name("a").unwrap()).outputs[0];
+        let fault = Fault {
+            site: FaultSite::Port(x_out),
+            kind: FaultKind::StuckAt0,
+            window: FaultWindow::Permanent(0),
+        };
+        let faulty = SimJob::new(&g, env_ab(3, 4))
+            .with_faults(FaultPlan::single(fault))
+            .run(&cache)
+            .unwrap();
+        assert_eq!(faulty.values_on_named_output(&g, "y"), vec![4]);
+
+        // The warm cache must still reproduce the clean result exactly.
+        let clean_after = SimJob::new(&g, env_ab(3, 4)).run(&cache).unwrap();
+        assert_eq!(
+            clean_after.values_on_named_output(&g, "y"),
+            clean_before.values_on_named_output(&g, "y")
+        );
+        assert_eq!(clean_after.values_on_named_output(&g, "y"), vec![7]);
+    }
+
+    #[test]
+    fn campaign_partitions_every_fault() {
+        let g = add_once();
+        let proto = SimJob::new(&g, env_ab(3, 4)).max_steps(20);
+        let cfg = CampaignConfig {
+            include_control: true,
+            workers: 2,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&proto, &cfg).unwrap();
+        let expected = g.dp.ports().len() * 3 + g.ctl.places().len() * 2;
+        assert_eq!(report.outcomes.len(), expected);
+        assert!(report.is_total_partition(), "{}", report.summary(&g));
+        assert!(report.golden_unchanged, "{}", report.summary(&g));
+        assert_eq!(report.golden_termination, Termination::Terminated);
+        // Stuck-at-0 on the adder output must corrupt y (3+4=7 ≠ 0), and
+        // token duplication must trip the safeness monitor.
+        assert!(report.count(FaultClass::SilentCorruption) > 0);
+        assert!(report.count(FaultClass::Detected) > 0);
+        assert!(report.count(FaultClass::Masked) > 0);
+        // The summary mentions every class.
+        let summary = report.summary(&g);
+        for class in FaultClass::ALL {
+            assert!(summary.contains(&class.to_string()), "{summary}");
+        }
+    }
+
+    #[test]
+    fn vulnerability_map_scores_sdc_vertices() {
+        let g = add_once();
+        let proto = SimJob::new(&g, env_ab(3, 4)).max_steps(20);
+        let report = run_campaign(&proto, &CampaignConfig::default()).unwrap();
+        let heat = report.sdc_by_vertex(&g);
+        assert_eq!(heat.len(), g.dp.vertices().capacity_bound());
+        assert!(
+            heat.iter().sum::<u64>() > 0,
+            "some vertex must be SDC-prone"
+        );
+        let dot = report.vulnerability_dot(&g);
+        assert!(dot.starts_with("digraph datapath"));
+        assert!(dot.contains("reds9"), "heat grading present:\n{dot}");
+    }
+}

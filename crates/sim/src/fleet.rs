@@ -29,19 +29,48 @@ use crate::engine::Simulator;
 use crate::env::{Environment, InputCursors, ScriptedEnv};
 use crate::error::SimError;
 use crate::eval::{DpState, StepValues};
+use crate::fault::FaultPlan;
 use crate::policy::FiringPolicy;
 use crate::trace::Trace;
 use etpn_core::{Etpn, Marking, Value};
 use etpn_obs as obs;
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// Number of independently locked cache shards (power of two).
 const SHARDS: usize = 16;
 
 /// Default total cache capacity in entries.
 const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Default bounded retries for a panicked job.
+const DEFAULT_RETRIES: u64 = 1;
+
+/// Lock a mutex, recovering the data if a previous holder panicked. Every
+/// structure guarded this way in the fleet (work queues, result slots) is
+/// only mutated by panic-free operations — a poisoned lock means a *job*
+/// died elsewhere on that thread, not that the guarded data is torn — so
+/// recovery is sound. The `EvalCache` shards, whose entries *could* be
+/// mid-insertion when a panic strikes, are not recovered but quarantined
+/// instead (see [`EvalCache`]).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Render a caught panic payload as a message (best effort).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One simulation request: a design, an environment and a run
 /// configuration. Built builder-style, mirroring [`Simulator`].
@@ -54,6 +83,9 @@ pub struct SimJob<'g, E: Environment = ScriptedEnv> {
     init_all: Option<i64>,
     reg_inits: Vec<(String, i64)>,
     allow_unsafe: bool,
+    faults: Option<FaultPlan>,
+    wall_budget: Option<Duration>,
+    strict: bool,
 }
 
 impl<'g, E: Environment> SimJob<'g, E> {
@@ -68,7 +100,15 @@ impl<'g, E: Environment> SimJob<'g, E> {
             init_all: None,
             reg_inits: Vec::new(),
             allow_unsafe: false,
+            faults: None,
+            wall_budget: None,
+            strict: false,
         }
+    }
+
+    /// The design this job runs.
+    pub fn design(&self) -> &'g Etpn {
+        self.g
     }
 
     /// Select the firing policy (the seed lives inside the policy).
@@ -101,11 +141,30 @@ impl<'g, E: Environment> SimJob<'g, E> {
         self
     }
 
-    /// Execute this job on the calling thread, memoising through `cache`.
-    pub fn run(self, cache: &Arc<EvalCache>) -> Result<Trace, SimError> {
-        let mut sim = Simulator::new(self.g, self.env)
-            .with_policy(self.policy)
-            .with_cache(Arc::clone(cache));
+    /// Inject faults from `plan` (see [`crate::fault`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Stop with `Termination::Budget` after this much wall-clock time.
+    pub fn wall_budget(mut self, budget: Duration) -> Self {
+        self.wall_budget = Some(budget);
+        self
+    }
+
+    /// Raise `SimError::InputExhausted` on dry input reads.
+    pub fn strict_inputs(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Build the configured simulator, optionally wired to a memo cache.
+    fn into_sim(self, cache: Option<&Arc<EvalCache>>) -> Simulator<'g, E> {
+        let mut sim = Simulator::new(self.g, self.env).with_policy(self.policy);
+        if let Some(c) = cache {
+            sim = sim.with_cache(Arc::clone(c));
+        }
         if let Some(v) = self.init_all {
             sim = sim.init_registers(v);
         }
@@ -115,22 +174,28 @@ impl<'g, E: Environment> SimJob<'g, E> {
         if self.allow_unsafe {
             sim = sim.allow_unsafe();
         }
-        sim.run(self.max_steps)
+        if let Some(plan) = self.faults {
+            sim = sim.with_faults(plan);
+        }
+        if let Some(b) = self.wall_budget {
+            sim = sim.with_wall_budget(b);
+        }
+        if self.strict {
+            sim = sim.strict_inputs();
+        }
+        sim
+    }
+
+    /// Execute this job on the calling thread, memoising through `cache`.
+    pub fn run(self, cache: &Arc<EvalCache>) -> Result<Trace, SimError> {
+        let max_steps = self.max_steps;
+        self.into_sim(Some(cache)).run(max_steps)
     }
 
     /// Execute this job sequentially with no cache (reference path).
     pub fn run_uncached(self) -> Result<Trace, SimError> {
-        let mut sim = Simulator::new(self.g, self.env).with_policy(self.policy);
-        if let Some(v) = self.init_all {
-            sim = sim.init_registers(v);
-        }
-        for (name, v) in &self.reg_inits {
-            sim = sim.init_register(name, *v);
-        }
-        if self.allow_unsafe {
-            sim = sim.allow_unsafe();
-        }
-        sim.run(self.max_steps)
+        let max_steps = self.max_steps;
+        self.into_sim(None).run(max_steps)
     }
 }
 
@@ -178,12 +243,21 @@ struct Shard {
 /// A bounded, lock-sharded memo table from step configurations to
 /// [`StepValues`], shared by every simulator of a fleet (and safely by
 /// concurrent fleets over the same designs).
+///
+/// Shards are *quarantined* rather than recovered on poison: a panic while
+/// a shard lock was held could in principle leave a half-updated entry, so
+/// the first thread to observe the poison clears the shard and disables it
+/// for the rest of the cache's life. A quarantined shard answers every
+/// lookup with a miss and drops every insert — cached state from a
+/// panicked job can never be served.
 pub struct EvalCache {
     shards: Vec<Mutex<Shard>>,
+    quarantined: Vec<AtomicBool>,
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    quarantines: AtomicU64,
 }
 
 impl Default for EvalCache {
@@ -203,15 +277,30 @@ impl EvalCache {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            quarantined: (0..SHARDS).map(|_| AtomicBool::new(false)).collect(),
             shard_capacity: capacity.div_ceil(SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+        }
+    }
+
+    /// Clear and permanently disable shard `i` after its lock was found
+    /// poisoned (a holder panicked mid-mutation).
+    fn quarantine(&self, i: usize, poisoned: PoisonError<MutexGuard<'_, Shard>>) {
+        let mut shard = poisoned.into_inner();
+        shard.map.clear();
+        shard.order.clear();
+        drop(shard);
+        if !self.quarantined[i].swap(true, Ordering::Release) {
+            self.quarantines.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Look up a step configuration. Counts exactly one hit or one miss; a
-    /// key collision whose snapshot mismatches is a miss.
+    /// key collision whose snapshot mismatches is a miss, as is any probe
+    /// of a quarantined shard.
     pub(crate) fn lookup(
         &self,
         key: &StepKey,
@@ -219,16 +308,23 @@ impl EvalCache {
         state: &DpState,
         cursors: &InputCursors,
     ) -> Option<Arc<StepValues>> {
-        let shard = self.shards[key.shard()]
-            .lock()
-            .expect("cache shard poisoned");
-        let found = shard.map.get(key).and_then(|e| {
-            let exact = e.marking == *marking
-                && e.state == state.values()
-                && e.cursors == cursors.positions();
-            exact.then(|| Arc::clone(&e.vals))
-        });
-        drop(shard);
+        let i = key.shard();
+        let found = if self.quarantined[i].load(Ordering::Acquire) {
+            None
+        } else {
+            match self.shards[i].lock() {
+                Ok(shard) => shard.map.get(key).and_then(|e| {
+                    let exact = e.marking == *marking
+                        && e.state == state.values()
+                        && e.cursors == cursors.positions();
+                    exact.then(|| Arc::clone(&e.vals))
+                }),
+                Err(poisoned) => {
+                    self.quarantine(i, poisoned);
+                    None
+                }
+            }
+        };
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -241,7 +337,8 @@ impl EvalCache {
         }
     }
 
-    /// Memoise an evaluation under its configuration snapshot.
+    /// Memoise an evaluation under its configuration snapshot. Silently
+    /// dropped when the shard is quarantined.
     pub(crate) fn insert(
         &self,
         key: StepKey,
@@ -250,9 +347,17 @@ impl EvalCache {
         cursors: &InputCursors,
         vals: Arc<StepValues>,
     ) {
-        let mut shard = self.shards[key.shard()]
-            .lock()
-            .expect("cache shard poisoned");
+        let i = key.shard();
+        if self.quarantined[i].load(Ordering::Acquire) {
+            return;
+        }
+        let mut shard = match self.shards[i].lock() {
+            Ok(shard) => shard,
+            Err(poisoned) => {
+                self.quarantine(i, poisoned);
+                return;
+            }
+        };
         while shard.map.len() >= self.shard_capacity {
             match shard.order.pop_front() {
                 Some(old) => {
@@ -274,16 +379,24 @@ impl EvalCache {
         }
     }
 
-    /// A consistent snapshot of the counters.
+    /// A consistent snapshot of the counters. Quarantined (or
+    /// not-yet-quarantined poisoned) shards report zero entries.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            quarantined: self.quarantines.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").map.len() as u64)
+                .enumerate()
+                .map(|(i, s)| {
+                    if self.quarantined[i].load(Ordering::Acquire) {
+                        return 0;
+                    }
+                    s.lock().map_or(0, |sh| sh.map.len() as u64)
+                })
                 .sum(),
         }
     }
@@ -298,6 +411,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Shards permanently disabled after a poisoned lock.
+    pub quarantined: u64,
     /// Entries currently resident.
     pub entries: u64,
 }
@@ -328,6 +443,11 @@ pub struct FleetStats {
     pub workers: usize,
     /// Jobs executed by a worker other than the one they were striped to.
     pub stolen: u64,
+    /// Panics contained by the per-job isolation boundary (every attempt
+    /// of every job counts once).
+    pub panics: u64,
+    /// Retry attempts made for panicked jobs (cache bypassed).
+    pub retried: u64,
     /// Cache counters accumulated over the batch (cumulative if the cache
     /// is shared across batches).
     pub cache: CacheStats,
@@ -341,6 +461,10 @@ impl FleetStats {
         reg.gauge("fleet.jobs").set(self.jobs as i64);
         reg.gauge("fleet.workers").set(self.workers as i64);
         reg.gauge("fleet.stolen").set(self.stolen as i64);
+        reg.gauge("fleet.panics").set(self.panics as i64);
+        reg.gauge("fleet.retried").set(self.retried as i64);
+        reg.gauge("fleet.cache.quarantined")
+            .set(self.cache.quarantined as i64);
         reg.gauge("fleet.cache.hits").set(self.cache.hits as i64);
         reg.gauge("fleet.cache.misses")
             .set(self.cache.misses as i64);
@@ -367,6 +491,7 @@ pub struct FleetBatch {
 pub struct Fleet {
     workers: usize,
     cache: Arc<EvalCache>,
+    retries: u64,
 }
 
 impl Fleet {
@@ -383,12 +508,62 @@ impl Fleet {
         } else {
             workers
         };
-        Self { workers, cache }
+        Self {
+            workers,
+            cache,
+            retries: DEFAULT_RETRIES,
+        }
+    }
+
+    /// Bounded retries for panicked jobs (default 1). Retries re-run the
+    /// identical job from scratch with the cache bypassed, so they are
+    /// deterministic and cannot be fed state the failed attempt cached. A
+    /// job that panics on every attempt resolves to
+    /// [`SimError::Panicked`] instead of aborting the batch.
+    pub fn with_retries(mut self, retries: u64) -> Self {
+        self.retries = retries;
+        self
     }
 
     /// The shared evaluation cache (inspect via [`EvalCache::stats`]).
     pub fn cache(&self) -> &Arc<EvalCache> {
         &self.cache
+    }
+
+    /// Execute one job inside a panic-isolation boundary with bounded
+    /// retries. The first attempt uses the shared cache; retries bypass
+    /// it.
+    fn run_isolated<'g, E: Environment + Clone>(
+        job: &SimJob<'g, E>,
+        cache: &Arc<EvalCache>,
+        retries: u64,
+        panics: (&AtomicU64, &obs::Counter),
+        retried: (&AtomicU64, &obs::Counter),
+    ) -> Result<Trace, SimError> {
+        let mut message = String::new();
+        for attempt in 0..=retries {
+            let j = job.clone();
+            let run = panic::catch_unwind(AssertUnwindSafe(move || {
+                if attempt == 0 {
+                    j.run(cache)
+                } else {
+                    j.run_uncached()
+                }
+            }));
+            match run {
+                Ok(outcome) => return outcome,
+                Err(payload) => {
+                    panics.0.fetch_add(1, Ordering::Relaxed);
+                    panics.1.inc();
+                    message = panic_message(payload.as_ref());
+                    if attempt < retries {
+                        retried.0.fetch_add(1, Ordering::Relaxed);
+                        retried.1.inc();
+                    }
+                }
+            }
+        }
+        Err(SimError::Panicked { message, retries })
     }
 
     /// Run every job, returning results in submission order.
@@ -397,47 +572,52 @@ impl Fleet {
     /// drains its own deque from the front and steals from the *back* of
     /// the others when idle, so the batch balances itself even when job
     /// lengths are skewed.
-    pub fn run_batch<'g, E: Environment + Send>(&self, jobs: Vec<SimJob<'g, E>>) -> FleetBatch {
+    pub fn run_batch<'g, E: Environment + Clone + Send>(
+        &self,
+        jobs: Vec<SimJob<'g, E>>,
+    ) -> FleetBatch {
         type WorkQueue<'g, E> = Mutex<VecDeque<(usize, SimJob<'g, E>)>>;
         let _batch_span = obs::span_arg("fleet.batch", "jobs", jobs.len() as i64);
         let reg = obs::global();
         let jobs_done = reg.counter("fleet.jobs_done");
         let steals = reg.counter("fleet.steals");
+        let panics_ctr = reg.counter("fleet.panics");
+        let retried_ctr = reg.counter("fleet.retries");
         let n_jobs = jobs.len();
         let workers = self.workers.min(n_jobs).max(1);
         let queues: Vec<WorkQueue<'g, E>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, job) in jobs.into_iter().enumerate() {
-            queues[i % workers]
-                .lock()
-                .expect("fleet queue poisoned")
-                .push_back((i, job));
+            lock_recover(&queues[i % workers]).push_back((i, job));
         }
         let slots: Vec<Mutex<Option<Result<Trace, SimError>>>> =
             (0..n_jobs).map(|_| Mutex::new(None)).collect();
         let stolen = AtomicU64::new(0);
+        let panics = AtomicU64::new(0);
+        let retried = AtomicU64::new(0);
 
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let queues = &queues;
                 let slots = &slots;
                 let stolen = &stolen;
+                let panics = &panics;
+                let retried = &retried;
                 let cache = &self.cache;
+                let retries = self.retries;
                 let jobs_done = &jobs_done;
                 let steals = &steals;
+                let panics_ctr = &panics_ctr;
+                let retried_ctr = &retried_ctr;
                 scope.spawn(move || {
                     {
                         let _worker_span = obs::span_arg("fleet.worker", "worker", w as i64);
                         loop {
-                            let mut next =
-                                queues[w].lock().expect("fleet queue poisoned").pop_front();
+                            let mut next = lock_recover(&queues[w]).pop_front();
                             if next.is_none() {
                                 for d in 1..workers {
                                     let victim = (w + d) % workers;
-                                    next = queues[victim]
-                                        .lock()
-                                        .expect("fleet queue poisoned")
-                                        .pop_back();
+                                    next = lock_recover(&queues[victim]).pop_back();
                                     if next.is_some() {
                                         stolen.fetch_add(1, Ordering::Relaxed);
                                         steals.inc();
@@ -448,9 +628,14 @@ impl Fleet {
                             match next {
                                 Some((idx, job)) => {
                                     let _job_span = obs::span_arg("fleet.job", "job", idx as i64);
-                                    let outcome = job.run(cache);
-                                    *slots[idx].lock().expect("fleet slot poisoned") =
-                                        Some(outcome);
+                                    let outcome = Self::run_isolated(
+                                        &job,
+                                        cache,
+                                        retries,
+                                        (panics, panics_ctr),
+                                        (retried, retried_ctr),
+                                    );
+                                    *lock_recover(&slots[idx]) = Some(outcome);
                                     jobs_done.inc();
                                 }
                                 None => break,
@@ -470,7 +655,7 @@ impl Fleet {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("fleet slot poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .expect("every submitted job is executed exactly once")
             })
             .collect();
@@ -478,6 +663,8 @@ impl Fleet {
             jobs: n_jobs,
             workers,
             stolen: stolen.load(Ordering::Relaxed),
+            panics: panics.load(Ordering::Relaxed),
+            retried: retried.load(Ordering::Relaxed),
             cache: self.cache.stats(),
         };
         stats.export(reg);
@@ -685,6 +872,147 @@ mod tests {
             hashes.insert(m.stable_hash64());
         }
         assert_eq!(hashes.len(), 3, "three markings, three distinct hashes");
+    }
+
+    /// An environment that either answers from a script or detonates,
+    /// letting a batch mix healthy and panicking jobs under one type.
+    #[derive(Clone)]
+    enum TestEnv {
+        Healthy(ScriptedEnv),
+        Bomb,
+    }
+
+    impl Environment for TestEnv {
+        fn value_at(&self, input: etpn_core::VertexId, name: &str, k: u64) -> Value {
+            match self {
+                TestEnv::Healthy(e) => e.value_at(input, name, k),
+                TestEnv::Bomb => panic!("injected eval panic"),
+            }
+        }
+
+        fn fingerprint(&self) -> Option<u64> {
+            match self {
+                TestEnv::Healthy(e) => e.fingerprint(),
+                TestEnv::Bomb => None,
+            }
+        }
+    }
+
+    #[test]
+    fn panics_are_contained_per_job() {
+        let g = add_once();
+        let jobs = vec![
+            SimJob::new(&g, TestEnv::Healthy(env_ab(1, 2))).max_steps(10),
+            SimJob::new(&g, TestEnv::Bomb).max_steps(10),
+            SimJob::new(&g, TestEnv::Healthy(env_ab(3, 4))).max_steps(10),
+        ];
+        let batch = Fleet::new(2).run_batch(jobs);
+        assert_eq!(
+            batch.results[0]
+                .as_ref()
+                .unwrap()
+                .values_on_named_output(&g, "y"),
+            vec![3]
+        );
+        match &batch.results[1] {
+            Err(SimError::Panicked { message, retries }) => {
+                assert!(message.contains("injected eval panic"), "{message}");
+                assert_eq!(*retries, DEFAULT_RETRIES);
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        assert_eq!(
+            batch.results[2]
+                .as_ref()
+                .unwrap()
+                .values_on_named_output(&g, "y"),
+            vec![7]
+        );
+        // Initial attempt + DEFAULT_RETRIES retries, all panicking.
+        assert_eq!(batch.stats.panics, DEFAULT_RETRIES + 1);
+        assert_eq!(batch.stats.retried, DEFAULT_RETRIES);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded_and_counted() {
+        let g = add_once();
+        let jobs = vec![SimJob::new(&g, TestEnv::Bomb).max_steps(10)];
+        let batch = Fleet::new(1).with_retries(3).run_batch(jobs);
+        assert!(matches!(
+            batch.results[0],
+            Err(SimError::Panicked { retries: 3, .. })
+        ));
+        assert_eq!(batch.stats.panics, 4, "1 attempt + 3 retries");
+        assert_eq!(batch.stats.retried, 3);
+    }
+
+    #[test]
+    fn zero_retries_still_contains_the_panic() {
+        let g = add_once();
+        let jobs = vec![SimJob::new(&g, TestEnv::Bomb).max_steps(10)];
+        let batch = Fleet::new(1).with_retries(0).run_batch(jobs);
+        assert!(matches!(
+            batch.results[0],
+            Err(SimError::Panicked { retries: 0, .. })
+        ));
+        assert_eq!(batch.stats.panics, 1);
+        assert_eq!(batch.stats.retried, 0);
+    }
+
+    /// A shard whose lock was poisoned by a panicking holder is cleared
+    /// and disabled: lookups miss, inserts are dropped, the rest of the
+    /// cache keeps working, and nothing ever panics again.
+    #[test]
+    fn poisoned_shard_is_quarantined_not_fatal() {
+        let g = add_once();
+        let state = DpState::new(&g);
+        let cursors = InputCursors::new(&g);
+        let m = Marking::initial(&g.ctl);
+        let key = StepKey {
+            design: 1,
+            env: 2,
+            marking: 3,
+            state: 4,
+            cursors: 5,
+        };
+        let vals = Arc::new(StepValues {
+            port_values: vec![Value::Undef; g.dp.ports().len()],
+            open_arcs: etpn_core::bitset::BitSet::new(g.dp.arcs().len()),
+        });
+        let cache = EvalCache::new();
+        cache.insert(key, &m, &state, &cursors, Arc::clone(&vals));
+        assert!(cache.lookup(&key, &m, &state, &cursors).is_some());
+
+        // Poison the entry's shard by panicking while holding its lock.
+        let i = key.shard();
+        let poison = panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = cache.shards[i].lock().unwrap();
+            panic!("poison the shard");
+        }));
+        assert!(poison.is_err());
+
+        // First probe observes the poison, quarantines, and misses.
+        assert!(cache.lookup(&key, &m, &state, &cursors).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.entries, 0, "quarantined shard was cleared");
+        // Inserts into the quarantined shard are dropped silently.
+        cache.insert(key, &m, &state, &cursors, Arc::clone(&vals));
+        assert!(cache.lookup(&key, &m, &state, &cursors).is_none());
+        // Other shards still work: a key targeting a different shard.
+        let other = (0..100u64)
+            .map(|d| StepKey {
+                design: d,
+                env: 2,
+                marking: 3,
+                state: 4,
+                cursors: 5,
+            })
+            .find(|k| k.shard() != i)
+            .expect("some key lands elsewhere");
+        cache.insert(other, &m, &state, &cursors, Arc::clone(&vals));
+        assert!(cache.lookup(&other, &m, &state, &cursors).is_some());
+        assert_eq!(cache.stats().quarantined, 1, "counted once");
     }
 
     #[test]

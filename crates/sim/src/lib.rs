@@ -15,7 +15,11 @@
 //! * [`equiv`] — empirical semantic-equivalence comparison (Def. 4.1);
 //! * [`determinism`] — the policy-invariance battery justifying Def. 3.2;
 //! * [`fleet`] — work-stealing batch simulation over a shared, sharded
-//!   memo cache for policy/seed/environment sweeps.
+//!   memo cache for policy/seed/environment sweeps, with per-job panic
+//!   isolation, bounded retries and cache-shard quarantine;
+//! * [`fault`] — fault injection (stuck-at, bit-flip, token loss/dup) and
+//!   fleet-backed fault-simulation campaigns classifying each fault as
+//!   masked / silent corruption / detected / hang against a golden run.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +32,7 @@ pub mod equiv;
 pub mod error;
 pub mod eval;
 pub mod extract;
+pub mod fault;
 pub mod fleet;
 pub mod policy;
 pub mod trace;
@@ -43,6 +48,10 @@ pub use equiv::{
 };
 pub use error::SimError;
 pub use extract::event_structure;
+pub use fault::{
+    run_campaign, CampaignConfig, CampaignReport, Fault, FaultClass, FaultKind, FaultOutcome,
+    FaultPlan, FaultSite, FaultWindow,
+};
 pub use fleet::{CacheStats, EvalCache, Fleet, FleetBatch, FleetStats, SimJob};
 pub use policy::FiringPolicy;
 pub use trace::{Termination, Trace};

@@ -7,11 +7,32 @@ use etpn_core::{ArcId, Etpn, ExternalEvent, PlaceId, PortId, TransId, Value};
 pub enum Termination {
     /// No token remained in any control state (Def. 3.1(6)).
     Terminated,
-    /// Tokens remain but the system reached a fixpoint: nothing fired and
-    /// no input stream advanced, so no future step can differ.
+    /// Tokens remain and at least one transition is token-enabled, but its
+    /// guards are false and no input stream advances: a guard fixpoint.
     Quiescent,
+    /// Tokens remain but *no* transition is token-enabled — the control net
+    /// is structurally stuck (e.g. a join waiting on a partner token that
+    /// was lost). Unlike [`Termination::Quiescent`] no guard flip could
+    /// ever unblock it.
+    Deadlock,
     /// The step budget ran out first.
     StepLimit,
+    /// The per-job wall-clock budget ran out first (see
+    /// `Simulator::with_wall_budget`).
+    Budget,
+}
+
+impl Termination {
+    /// True for the outcomes that mean the run was cut short or stuck
+    /// rather than finishing of its own accord: [`Termination::Deadlock`],
+    /// [`Termination::StepLimit`] and [`Termination::Budget`]. Fault
+    /// campaigns classify these as *hangs*.
+    pub fn is_hang(self) -> bool {
+        matches!(
+            self,
+            Termination::Deadlock | Termination::StepLimit | Termination::Budget
+        )
+    }
 }
 
 /// The observable outcome of a simulation run.
@@ -106,6 +127,15 @@ mod tests {
             place: PlaceId::new(0),
             step,
         }
+    }
+
+    #[test]
+    fn hang_classification_of_terminations() {
+        assert!(!Termination::Terminated.is_hang());
+        assert!(!Termination::Quiescent.is_hang());
+        assert!(Termination::Deadlock.is_hang());
+        assert!(Termination::StepLimit.is_hang());
+        assert!(Termination::Budget.is_hang());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! etpnc build  <design.hdl> [options]            # full synthesis → files
 //! etpnc run    <design.hdl> --set x=1,2 [...]    # simulate on the model
 //! etpnc interp <design.hdl> --set x=1,2 [...]    # reference interpreter
+//! etpnc fault  <design.hdl> --set x=1,2 [...]    # fault-injection campaign
 //! etpnc dot    <design.hdl>                      # graphviz to stdout
 //!
 //! build options:
@@ -21,6 +22,19 @@
 //!                                              fleet workers, report cache
 //!                                              stats and policy invariance)
 //!   --seeds K                                 (battery seeds, default 4)
+//!   --wall-ms N                               (per-run wall-clock budget)
+//!   --strict                                  (error when an input stream
+//!                                              runs dry instead of reading ⊥)
+//! fault options (plus --set/--steps/--jobs/--wall-ms as for run):
+//!   --control                                 (also inject token loss/dup
+//!                                              faults into control places)
+//!   --at N                                    (step for transient bit-flips,
+//!                                              default 1)
+//!   --retries N                               (per-job retry budget,
+//!                                              default 1)
+//!   --dot FILE                                (write the silent-corruption
+//!                                              vulnerability map as a heat
+//!                                              DOT of the data path)
 //! dot options:
 //!   --heat                                    (simulate with the --set
 //!                                              streams and colour the control
@@ -33,7 +47,12 @@
 //!   --stats                                   (dump counters/gauges/
 //!                                              histograms after the command)
 //!
-//! exit codes: 0 success, 1 error, 3 simulation hit the step limit.
+//! exit codes:
+//!   0   success
+//!   1   error (bad usage, compile failure, simulation fault, …)
+//!   3   simulation hit the step limit
+//!   4   deadlock: no transition is token-enabled but tokens remain
+//!   5   wall-clock budget exhausted
 //! ```
 
 use etpn::analysis::proper::check_properly_designed;
@@ -46,11 +65,16 @@ use std::process::ExitCode;
 /// Exit code for a run that stopped on the step budget instead of
 /// terminating or quiescing (distinct from generic failure, `1`).
 const EXIT_STEP_LIMIT: u8 = 3;
+/// Exit code for a control-net deadlock: tokens remain but no transition
+/// is token-enabled, so no budget increase can ever help.
+const EXIT_DEADLOCK: u8 = 4;
+/// Exit code for a run cut short by the `--wall-ms` wall-clock budget.
+const EXIT_BUDGET: u8 = 5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: etpnc <check|build|run|interp|dot> <design.hdl> [options]");
+        eprintln!("usage: etpnc <check|build|run|interp|fault|dot> <design.hdl> [options]");
         return ExitCode::FAILURE;
     };
     let profile_path = flag_value(rest, "--profile").map(str::to_string);
@@ -65,6 +89,7 @@ fn main() -> ExitCode {
         "build" => cmd_build(rest),
         "run" => cmd_run(rest, false),
         "interp" => cmd_run(rest, true),
+        "fault" => cmd_fault(rest),
         "dot" => cmd_dot(rest),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -221,7 +246,11 @@ fn report_termination(trace: &etpn::sim::Trace, steps: u64) -> ExitCode {
     let reason = match trace.termination {
         Termination::Terminated => "all tokens consumed (Def. 3.1(6))".to_string(),
         Termination::Quiescent => "fixpoint: nothing can fire and no input advances".to_string(),
+        Termination::Deadlock => {
+            "deadlock: tokens remain but no transition is token-enabled".to_string()
+        }
         Termination::StepLimit => format!("step budget of {steps} exhausted"),
+        Termination::Budget => "wall-clock budget exhausted".to_string(),
     };
     println!(
         "termination: {:?} — {reason}\n{} steps, {} firings, {} external events",
@@ -230,13 +259,26 @@ fn report_termination(trace: &etpn::sim::Trace, steps: u64) -> ExitCode {
         trace.firings,
         trace.event_count()
     );
-    if trace.termination == Termination::StepLimit {
-        eprintln!(
-            "etpnc: run hit the step limit (exit {EXIT_STEP_LIMIT}); raise --steps if unintended"
-        );
-        ExitCode::from(EXIT_STEP_LIMIT)
-    } else {
-        ExitCode::SUCCESS
+    match trace.termination {
+        Termination::StepLimit => {
+            eprintln!(
+                "etpnc: run hit the step limit (exit {EXIT_STEP_LIMIT}); raise --steps if unintended"
+            );
+            ExitCode::from(EXIT_STEP_LIMIT)
+        }
+        Termination::Deadlock => {
+            eprintln!(
+                "etpnc: control net deadlocked (exit {EXIT_DEADLOCK}); no step budget can unstick it"
+            );
+            ExitCode::from(EXIT_DEADLOCK)
+        }
+        Termination::Budget => {
+            eprintln!(
+                "etpnc: run cut short by the wall-clock budget (exit {EXIT_BUDGET}); raise --wall-ms if unintended"
+            );
+            ExitCode::from(EXIT_BUDGET)
+        }
+        Termination::Terminated | Termination::Quiescent => ExitCode::SUCCESS,
     }
 }
 
@@ -275,6 +317,12 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<ExitCode, String> {
     let mut sim = Simulator::new(&d.etpn, env);
     for (name, v) in &d.reg_inits {
         sim = sim.init_register(name, *v);
+    }
+    if let Some(ms) = wall_budget(args)? {
+        sim = sim.with_wall_budget(ms);
+    }
+    if args.iter().any(|a| a == "--strict") {
+        sim = sim.strict_inputs();
     }
     let vcd_path = flag_value(args, "--vcd");
     if vcd_path.is_some() {
@@ -391,6 +439,93 @@ fn run_fleet_battery(
     } else {
         Err(format!("{divergent} policies diverged"))
     }
+}
+
+/// Parse `--wall-ms N` into a [`std::time::Duration`].
+fn wall_budget(args: &[String]) -> Result<Option<std::time::Duration>, String> {
+    flag_value(args, "--wall-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(std::time::Duration::from_millis)
+                .map_err(|e| format!("--wall-ms: {e}"))
+        })
+        .transpose()
+}
+
+/// `etpnc fault`: run a full single-fault injection campaign against the
+/// design — one golden run plus one faulty run per (site, kind) pair — and
+/// report the masked / sdc / detected / hang partition, Def. 3.2 detector
+/// status, and (optionally) a silent-corruption vulnerability map.
+fn cmd_fault(args: &[String]) -> Result<ExitCode, String> {
+    use etpn::sim::{run_campaign, CampaignConfig, FaultKind, SimJob};
+
+    let _span = obs::span("fault.cmd");
+    let (_, src) = read_source(args)?;
+    let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
+    let streams = parse_streams(args)?;
+    let steps: u64 = flag_value(args, "--steps")
+        .map(|v| v.parse().map_err(|e| format!("--steps: {e}")))
+        .transpose()?
+        .unwrap_or(100_000);
+    let mut env = ScriptedEnv::new();
+    for (name, values) in &streams {
+        env = env.with_stream(name, values.iter().copied());
+    }
+
+    // Def. 3.2 status up front: the `detected` class leans on the runtime
+    // monitors, which only mean something when the static analysis passes.
+    let proper = check_properly_designed(&d.etpn);
+    println!(
+        "design `{}`: properly designed: {}",
+        d.name,
+        if proper.is_proper() { "yes" } else { "NO" }
+    );
+
+    let mut proto = SimJob::new(&d.etpn, env).max_steps(steps);
+    for (name, v) in &d.reg_inits {
+        proto = proto.init_register(name, *v);
+    }
+    let bit: u32 = flag_value(args, "--bit")
+        .map(|v| v.parse().map_err(|e| format!("--bit: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let cfg = CampaignConfig {
+        kinds: vec![
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::BitFlip(bit),
+        ],
+        include_control: args.iter().any(|a| a == "--control"),
+        transient_step: flag_value(args, "--at")
+            .map(|v| v.parse().map_err(|e| format!("--at: {e}")))
+            .transpose()?
+            .unwrap_or(1),
+        workers: flag_value(args, "--jobs")
+            .map(|v| v.parse().map_err(|e| format!("--jobs: {e}")))
+            .transpose()?
+            .unwrap_or(0),
+        retries: flag_value(args, "--retries")
+            .map(|v| v.parse().map_err(|e| format!("--retries: {e}")))
+            .transpose()?
+            .unwrap_or(1),
+        wall_budget: wall_budget(args)?,
+    };
+    let report = run_campaign(&proto, &cfg).map_err(|e| e.describe(&d.etpn))?;
+    print!("{}", report.summary(&d.etpn));
+    if let Some(path) = flag_value(args, "--dot") {
+        std::fs::write(path, report.vulnerability_dot(&d.etpn))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} (silent-corruption vulnerability map)");
+    }
+    if !report.is_total_partition() {
+        return Err("campaign aborted: some faults were never classified".into());
+    }
+    if !report.golden_unchanged {
+        return Err(
+            "campaign corrupted the golden run — injection leaked into the clean path".into(),
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_dot(args: &[String]) -> Result<ExitCode, String> {
