@@ -31,9 +31,11 @@ pub use comb_loop::{find_all_comb_loops, find_comb_loop, CombLoop};
 pub use conflict::{check_conflicts, is_conflict_free, ConflictFinding};
 pub use critical_path::{critical_path, default_delay, state_delay, CriticalPath};
 pub use datadep::DataDependence;
-pub use invariants::{p_invariants, t_invariants, PInvariants, TInvariants};
+pub use invariants::{
+    cyclic_closure, p_invariants, p_semiflows, t_invariants, PInvariants, TInvariants,
+};
 pub use liveness::{liveness, LivenessReport};
 pub use proper::{
     check_properly_designed, check_properly_designed_with, ProperReport, SafetyVerdict,
 };
-pub use reach::{is_safe, ReachGraph};
+pub use reach::{is_safe, ExploreBudget, ReachGraph};

@@ -9,6 +9,31 @@
 use etpn_core::{Control, Marking, PlaceId, TransId};
 use std::collections::HashMap;
 
+/// Node and edge budget for [`ReachGraph::explore_budgeted`]. Both limits
+/// cap resource use on nets whose marking graph is too large (or infinite);
+/// exploration stops at whichever is hit first and marks the result
+/// incomplete rather than running away.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreBudget {
+    /// Maximum distinct markings to keep.
+    pub max_states: usize,
+    /// Maximum marking-graph edges to record.
+    pub max_edges: usize,
+}
+
+impl ExploreBudget {
+    /// A state budget with a proportionate edge budget (each marking of a
+    /// safe net has at most one outgoing edge per transition, so 8× states
+    /// is generous for well-formed nets while still bounding pathological
+    /// ones).
+    pub fn states(max_states: usize) -> Self {
+        ExploreBudget {
+            max_states,
+            max_edges: max_states.saturating_mul(8),
+        }
+    }
+}
+
 /// The (possibly truncated) reachability graph of a control structure.
 #[derive(Clone, Debug)]
 pub struct ReachGraph {
@@ -16,7 +41,7 @@ pub struct ReachGraph {
     pub markings: Vec<Marking>,
     /// Edges `(from marking index, fired transition, to marking index)`.
     pub edges: Vec<(usize, TransId, usize)>,
-    /// False when exploration stopped at the state budget.
+    /// False when exploration stopped at the state or edge budget.
     pub complete: bool,
 }
 
@@ -24,6 +49,13 @@ impl ReachGraph {
     /// Explore from `M0`, one transition per step (interleaving semantics),
     /// stopping after `max_states` distinct markings.
     pub fn explore(control: &Control, max_states: usize) -> Self {
+        Self::explore_budgeted(control, ExploreBudget::states(max_states))
+    }
+
+    /// Explore from `M0` under an explicit node *and* edge budget, so even
+    /// unbounded nets terminate with a truncated (`complete == false`)
+    /// result instead of exhausting memory.
+    pub fn explore_budgeted(control: &Control, budget: ExploreBudget) -> Self {
         let m0 = Marking::initial(control);
         let mut index: HashMap<Marking, usize> = HashMap::new();
         let mut markings = vec![m0.clone()];
@@ -32,15 +64,19 @@ impl ReachGraph {
         let mut frontier = vec![0usize];
         let mut complete = true;
 
-        while let Some(i) = frontier.pop() {
+        'explore: while let Some(i) = frontier.pop() {
             let m = markings[i].clone();
             for t in m.enabled_transitions(control) {
+                if edges.len() >= budget.max_edges {
+                    complete = false;
+                    break 'explore;
+                }
                 let mut next = m.clone();
                 next.fire(control, t);
                 let j = match index.get(&next) {
                     Some(&j) => j,
                     None => {
-                        if markings.len() >= max_states {
+                        if markings.len() >= budget.max_states {
                             complete = false;
                             continue;
                         }
@@ -97,6 +133,15 @@ impl ReachGraph {
     /// True when some explored marking is fully terminated (Def. 3.1(6)).
     pub fn can_terminate(&self) -> bool {
         self.markings.iter().any(Marking::is_terminated)
+    }
+
+    /// True when some explored marking marks both places at once. On a
+    /// complete graph this decides place concurrency exactly — the ground
+    /// truth the invariant-based over-approximation is compared against.
+    pub fn ever_comarked(&self, a: PlaceId, b: PlaceId) -> bool {
+        self.markings
+            .iter()
+            .any(|m| m.count(a) > 0 && m.count(b) > 0)
     }
 
     /// The maximum token count any place attains over explored markings
@@ -200,6 +245,49 @@ mod tests {
         let g = ReachGraph::explore(&c, 2);
         assert!(!g.complete);
         assert_eq!(is_safe(&c, 2), None);
+    }
+
+    #[test]
+    fn edge_budget_bounds_unsafe_generator() {
+        // Token generator: t0 : s0 → {s0, s1} never stops minting tokens,
+        // so the marking graph is infinite. A huge state budget alone would
+        // chase it forever in practice; the edge budget halts exploration.
+        let mut c = Control::new();
+        let s0 = c.add_place("s0");
+        let s1 = c.add_place("s1");
+        let t0 = c.add_transition("t0");
+        c.flow_st(s0, t0).unwrap();
+        c.flow_ts(t0, s0).unwrap();
+        c.flow_ts(t0, s1).unwrap();
+        c.set_marked0(s0, true);
+        let g = ReachGraph::explore_budgeted(
+            &c,
+            ExploreBudget {
+                max_states: usize::MAX / 2,
+                max_edges: 64,
+            },
+        );
+        assert!(!g.complete);
+        assert!(g.edges.len() <= 64);
+        // The truncated prefix already witnesses unsafeness.
+        assert!(!g.all_safe());
+    }
+
+    #[test]
+    fn comarked_places_detected() {
+        let mut c = Control::new();
+        let s0 = c.add_place("s0");
+        let sa = c.add_place("sa");
+        let sb = c.add_place("sb");
+        let t0 = c.add_transition("fork");
+        c.flow_st(s0, t0).unwrap();
+        c.flow_ts(t0, sa).unwrap();
+        c.flow_ts(t0, sb).unwrap();
+        c.set_marked0(s0, true);
+        let g = ReachGraph::explore(&c, 100);
+        assert!(g.complete);
+        assert!(g.ever_comarked(sa, sb));
+        assert!(!g.ever_comarked(s0, sa));
     }
 
     #[test]

@@ -48,8 +48,11 @@ fn body_block(prog: &Program) -> Vec<Stmt> {
 fn etpn_schedule_length(prog: &Program, block: &[Stmt]) -> (usize, usize) {
     let block_prog = Program {
         name: format!("{}_body", prog.name),
+        name_span: prog.name_span,
         inputs: prog.inputs.clone(),
+        input_spans: prog.input_spans.clone(),
         outputs: prog.outputs.clone(),
+        output_spans: prog.output_spans.clone(),
         regs: prog.regs.clone(),
         body: block.to_vec(),
     };

@@ -4,6 +4,13 @@
 //! statement list: assignments, `if`/`else`, `while`, and `par { … }`
 //! blocks whose branches execute concurrently. This is the "algorithmic
 //! description of behaviour" that §5's synthesis pipeline starts from.
+//!
+//! Every node that ends up naming a place, transition, or vertex of the
+//! compiled ETPN — statements, declarations, and variable references —
+//! carries its byte [`Span`] so diagnostics can point back into the
+//! source text.
+
+use crate::span::Span;
 
 /// Binary operators, in source syntax order.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,8 +65,8 @@ pub enum UnOp {
 pub enum Expr {
     /// Integer literal.
     Const(i64),
-    /// Reference to an `in` port or `reg`.
-    Var(String),
+    /// Reference to an `in` port or `reg`, with the span of the name.
+    Var(String, Span),
     /// Unary operation.
     Unary(UnOp, Box<Expr>),
     /// Binary operation.
@@ -68,7 +75,10 @@ pub enum Expr {
     Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
 }
 
-/// Statements.
+/// Statements. Each carries the byte span of its *head* (the assignment
+/// text, the `if (cond)` / `while (cond)` header, the `par` keyword) —
+/// the part a diagnostic should underline for the control state the
+/// statement compiles to.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Stmt {
     /// `target = expr;` — target is a `reg` or an `out` port.
@@ -77,6 +87,8 @@ pub enum Stmt {
         target: String,
         /// Right-hand side.
         expr: Expr,
+        /// Span of the whole assignment, `target` through `;`.
+        span: Span,
     },
     /// `if (cond) { … } else { … }`.
     If {
@@ -86,6 +98,8 @@ pub enum Stmt {
         then_body: Vec<Stmt>,
         /// Else-branch statements (possibly empty).
         else_body: Vec<Stmt>,
+        /// Span of the `if (cond)` header.
+        span: Span,
     },
     /// `while (cond) { … }`.
     While {
@@ -93,9 +107,16 @@ pub enum Stmt {
         cond: Expr,
         /// Loop body.
         body: Vec<Stmt>,
+        /// Span of the `while (cond)` header.
+        span: Span,
     },
     /// `par { { … } { … } … }` — concurrent branches.
-    Par(Vec<Vec<Stmt>>),
+    Par {
+        /// The concurrent branches.
+        branches: Vec<Vec<Stmt>>,
+        /// Span of the `par` keyword.
+        span: Span,
+    },
 }
 
 /// A register declaration with optional reset value.
@@ -105,6 +126,8 @@ pub struct RegDecl {
     pub name: String,
     /// Optional initial value (`reg r = 5;`).
     pub init: Option<i64>,
+    /// Span of the declared name.
+    pub span: Span,
 }
 
 /// A complete design.
@@ -112,10 +135,16 @@ pub struct RegDecl {
 pub struct Program {
     /// Design name.
     pub name: String,
+    /// Span of the design name.
+    pub name_span: Span,
     /// Input port names, in declaration order.
     pub inputs: Vec<String>,
+    /// Spans of the input names, parallel to `inputs`.
+    pub input_spans: Vec<Span>,
     /// Output port names, in declaration order.
     pub outputs: Vec<String>,
+    /// Spans of the output names, parallel to `outputs`.
+    pub output_spans: Vec<Span>,
     /// Register declarations, in declaration order.
     pub regs: Vec<RegDecl>,
     /// Top-level statement list.
@@ -125,18 +154,23 @@ pub struct Program {
 impl Expr {
     /// Walk all variable references.
     pub fn visit_vars(&self, f: &mut impl FnMut(&str)) {
+        self.visit_vars_spanned(&mut |v, _| f(v));
+    }
+
+    /// Walk all variable references with the span of each occurrence.
+    pub fn visit_vars_spanned(&self, f: &mut impl FnMut(&str, Span)) {
         match self {
             Expr::Const(_) => {}
-            Expr::Var(v) => f(v),
-            Expr::Unary(_, e) => e.visit_vars(f),
+            Expr::Var(v, sp) => f(v, *sp),
+            Expr::Unary(_, e) => e.visit_vars_spanned(f),
             Expr::Binary(_, a, b) => {
-                a.visit_vars(f);
-                b.visit_vars(f);
+                a.visit_vars_spanned(f);
+                b.visit_vars_spanned(f);
             }
             Expr::Ternary(c, a, b) => {
-                c.visit_vars(f);
-                a.visit_vars(f);
-                b.visit_vars(f);
+                c.visit_vars_spanned(f);
+                a.visit_vars_spanned(f);
+                b.visit_vars_spanned(f);
             }
         }
     }
@@ -144,15 +178,33 @@ impl Expr {
     /// Count operator nodes (cost proxy used by reports).
     pub fn op_count(&self) -> usize {
         match self {
-            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Const(_) | Expr::Var(..) => 0,
             Expr::Unary(_, e) => 1 + e.op_count(),
             Expr::Binary(_, a, b) => 1 + a.op_count() + b.op_count(),
             Expr::Ternary(c, a, b) => 1 + c.op_count() + a.op_count() + b.op_count(),
         }
     }
+
+    /// The byte span covered by this expression (joined over the variable
+    /// references it contains; dummy for pure-constant expressions).
+    pub fn span(&self) -> Span {
+        let mut sp = Span::DUMMY;
+        self.visit_vars_spanned(&mut |_, s| sp = sp.join(s));
+        sp
+    }
 }
 
 impl Stmt {
+    /// The byte span of this statement's head.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Par { span, .. } => *span,
+        }
+    }
+
     /// Visit this statement and all nested statements.
     pub fn visit(&self, f: &mut impl FnMut(&Stmt)) {
         f(self);
@@ -172,7 +224,7 @@ impl Stmt {
                     s.visit(f);
                 }
             }
-            Stmt::Par(branches) => {
+            Stmt::Par { branches, .. } => {
                 for b in branches {
                     for s in b {
                         s.visit(f);
@@ -196,6 +248,21 @@ impl Program {
         }
         n
     }
+
+    /// The declaration span of `name`, searched over inputs, outputs, and
+    /// registers; dummy when undeclared.
+    pub fn decl_span(&self, name: &str) -> Span {
+        if let Some(i) = self.inputs.iter().position(|n| n == name) {
+            return self.input_spans.get(i).copied().unwrap_or(Span::DUMMY);
+        }
+        if let Some(i) = self.outputs.iter().position(|n| n == name) {
+            return self.output_spans.get(i).copied().unwrap_or(Span::DUMMY);
+        }
+        self.regs
+            .iter()
+            .find(|r| r.name == name)
+            .map_or(Span::DUMMY, |r| r.span)
+    }
 }
 
 #[cfg(test)]
@@ -206,43 +273,57 @@ mod tests {
     fn visit_vars_collects_all() {
         let e = Expr::Binary(
             BinOp::Add,
-            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Var("a".into(), Span::new(0, 1))),
             Box::new(Expr::Ternary(
-                Box::new(Expr::Var("c".into())),
+                Box::new(Expr::Var("c".into(), Span::new(4, 5))),
                 Box::new(Expr::Const(1)),
-                Box::new(Expr::Unary(UnOp::Neg, Box::new(Expr::Var("b".into())))),
+                Box::new(Expr::Unary(
+                    UnOp::Neg,
+                    Box::new(Expr::Var("b".into(), Span::new(9, 10))),
+                )),
             )),
         );
         let mut vars = Vec::new();
         e.visit_vars(&mut |v| vars.push(v.to_string()));
         assert_eq!(vars, vec!["a", "c", "b"]);
         assert_eq!(e.op_count(), 3);
+        assert_eq!(e.span(), Span::new(0, 10));
     }
 
     #[test]
     fn assignment_count_recurses() {
         let p = Program {
             name: "t".into(),
+            name_span: Span::DUMMY,
             inputs: vec![],
+            input_spans: vec![],
             outputs: vec![],
+            output_spans: vec![],
             regs: vec![],
             body: vec![
                 Stmt::Assign {
                     target: "r".into(),
                     expr: Expr::Const(1),
+                    span: Span::DUMMY,
                 },
                 Stmt::While {
-                    cond: Expr::Var("r".into()),
-                    body: vec![Stmt::Par(vec![
-                        vec![Stmt::Assign {
-                            target: "r".into(),
-                            expr: Expr::Const(2),
-                        }],
-                        vec![Stmt::Assign {
-                            target: "r".into(),
-                            expr: Expr::Const(3),
-                        }],
-                    ])],
+                    cond: Expr::Var("r".into(), Span::DUMMY),
+                    body: vec![Stmt::Par {
+                        branches: vec![
+                            vec![Stmt::Assign {
+                                target: "r".into(),
+                                expr: Expr::Const(2),
+                                span: Span::DUMMY,
+                            }],
+                            vec![Stmt::Assign {
+                                target: "r".into(),
+                                expr: Expr::Const(3),
+                                span: Span::DUMMY,
+                            }],
+                        ],
+                        span: Span::DUMMY,
+                    }],
+                    span: Span::DUMMY,
                 },
             ],
         };

@@ -7,6 +7,7 @@
 
 use crate::ast::{Program, Stmt};
 use crate::error::LangError;
+use crate::span::Span;
 use std::collections::HashSet;
 
 /// Run all semantic checks.
@@ -19,7 +20,10 @@ pub fn check(prog: &Program) -> Result<(), LangError> {
         .chain(prog.regs.iter().map(|r| &r.name))
     {
         if !names.insert(n) {
-            return Err(LangError::Semantic(format!("`{n}` declared twice")));
+            return Err(LangError::semantic_at(
+                prog.decl_span(n),
+                format!("`{n}` declared twice"),
+            ));
         }
     }
     let inputs: HashSet<&str> = prog.inputs.iter().map(String::as_str).collect();
@@ -34,46 +38,36 @@ pub fn check(prog: &Program) -> Result<(), LangError> {
     ) -> Result<(), LangError> {
         for s in stmts {
             match s {
-                Stmt::Assign { target, expr } => {
+                Stmt::Assign { target, expr, span } => {
                     if inputs.contains(target.as_str()) {
-                        return Err(LangError::Semantic(format!(
-                            "cannot assign to input `{target}`"
-                        )));
+                        return Err(LangError::semantic_at(
+                            *span,
+                            format!("cannot assign to input `{target}`"),
+                        ));
                     }
                     if !outputs.contains(target.as_str()) && !regs.contains(target.as_str()) {
-                        return Err(LangError::Semantic(format!(
-                            "assignment target `{target}` is not declared"
-                        )));
+                        return Err(LangError::semantic_at(
+                            *span,
+                            format!("assignment target `{target}` is not declared"),
+                        ));
                     }
-                    let mut err = None;
-                    expr.visit_vars(&mut |v| {
-                        if err.is_some() {
-                            return;
-                        }
-                        if outputs.contains(v) {
-                            err = Some(format!("output `{v}` cannot be read"));
-                        } else if !inputs.contains(v) && !regs.contains(v) {
-                            err = Some(format!("`{v}` is not declared"));
-                        }
-                    });
-                    if let Some(m) = err {
-                        return Err(LangError::Semantic(m));
-                    }
+                    check_expr(expr, inputs, outputs, regs)?;
                 }
                 Stmt::If {
                     cond,
                     then_body,
                     else_body,
+                    ..
                 } => {
                     check_expr(cond, inputs, outputs, regs)?;
                     check_stmts(then_body, inputs, outputs, regs)?;
                     check_stmts(else_body, inputs, outputs, regs)?;
                 }
-                Stmt::While { cond, body } => {
+                Stmt::While { cond, body, .. } => {
                     check_expr(cond, inputs, outputs, regs)?;
                     check_stmts(body, inputs, outputs, regs)?;
                 }
-                Stmt::Par(branches) => {
+                Stmt::Par { branches, span } => {
                     // Branches must write disjoint register sets.
                     let mut written: Vec<HashSet<String>> = Vec::new();
                     for b in branches {
@@ -81,9 +75,10 @@ pub fn check(prog: &Program) -> Result<(), LangError> {
                         collect_writes(b, &mut w);
                         for prev in &written {
                             if let Some(shared) = w.intersection(prev).next() {
-                                return Err(LangError::Semantic(format!(
-                                    "`par` branches both write `{shared}`"
-                                )));
+                                return Err(LangError::semantic_at(
+                                    *span,
+                                    format!("`par` branches both write `{shared}`"),
+                                ));
                             }
                         }
                         written.push(w);
@@ -101,18 +96,18 @@ pub fn check(prog: &Program) -> Result<(), LangError> {
         outputs: &HashSet<&str>,
         regs: &HashSet<&str>,
     ) -> Result<(), LangError> {
-        let mut err = None;
-        e.visit_vars(&mut |v| {
+        let mut err: Option<(Span, String)> = None;
+        e.visit_vars_spanned(&mut |v, sp| {
             if err.is_some() {
                 return;
             }
             if outputs.contains(v) {
-                err = Some(format!("output `{v}` cannot be read"));
+                err = Some((sp, format!("output `{v}` cannot be read")));
             } else if !inputs.contains(v) && !regs.contains(v) {
-                err = Some(format!("`{v}` is not declared"));
+                err = Some((sp, format!("`{v}` is not declared")));
             }
         });
-        err.map_or(Ok(()), |m| Err(LangError::Semantic(m)))
+        err.map_or(Ok(()), |(sp, m)| Err(LangError::semantic_at(sp, m)))
     }
 
     fn collect_writes(stmts: &[Stmt], out: &mut HashSet<String>) {
@@ -130,7 +125,7 @@ pub fn check(prog: &Program) -> Result<(), LangError> {
                     collect_writes(else_body, out);
                 }
                 Stmt::While { body, .. } => collect_writes(body, out),
-                Stmt::Par(branches) => {
+                Stmt::Par { branches, .. } => {
                     for b in branches {
                         collect_writes(b, out);
                     }
@@ -190,5 +185,13 @@ mod tests {
     #[test]
     fn par_disjoint_writes_pass() {
         check_src("design t { reg a, b; par { { a = 1; } { b = 2; } } }").unwrap();
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let src = "design t { reg r; r = q; }";
+        let e = check_src(src).unwrap_err();
+        let sp = e.span();
+        assert_eq!(&src[sp.start as usize..sp.end as usize], "q");
     }
 }

@@ -1,5 +1,7 @@
 //! Front-end error types.
 
+use crate::span::Span;
+
 /// Errors from the lexer, parser, or semantic checker.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LangError {
@@ -9,6 +11,8 @@ pub enum LangError {
         line: u32,
         /// 1-based column.
         col: u32,
+        /// Byte span of the offending text.
+        span: Span,
         /// Description.
         message: String,
     },
@@ -18,23 +22,71 @@ pub enum LangError {
         line: u32,
         /// 1-based column.
         col: u32,
+        /// Byte span of the offending token.
+        span: Span,
         /// Description.
         message: String,
     },
     /// Semantic error (undeclared name, illegal assignment target, …).
-    Semantic(String),
+    Semantic {
+        /// Byte span of the offending construct ([`Span::DUMMY`] when no
+        /// single construct is to blame).
+        span: Span,
+        /// Description.
+        message: String,
+    },
+}
+
+impl LangError {
+    /// A semantic error with no useful source location.
+    pub fn semantic(message: impl Into<String>) -> Self {
+        LangError::Semantic {
+            span: Span::DUMMY,
+            message: message.into(),
+        }
+    }
+
+    /// A semantic error pointing at `span`.
+    pub fn semantic_at(span: Span, message: impl Into<String>) -> Self {
+        LangError::Semantic {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// The byte span the error points at (dummy when unknown).
+    pub fn span(&self) -> Span {
+        match self {
+            LangError::Lex { span, .. }
+            | LangError::Parse { span, .. }
+            | LangError::Semantic { span, .. } => *span,
+        }
+    }
+
+    /// The error description without the position prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            LangError::Lex { message, .. }
+            | LangError::Parse { message, .. }
+            | LangError::Semantic { message, .. } => message,
+        }
+    }
 }
 
 impl std::fmt::Display for LangError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LangError::Lex { line, col, message } => {
+            LangError::Lex {
+                line, col, message, ..
+            } => {
                 write!(f, "lex error at {line}:{col}: {message}")
             }
-            LangError::Parse { line, col, message } => {
+            LangError::Parse {
+                line, col, message, ..
+            } => {
                 write!(f, "parse error at {line}:{col}: {message}")
             }
-            LangError::Semantic(m) => write!(f, "semantic error: {m}"),
+            LangError::Semantic { message, .. } => write!(f, "semantic error: {message}"),
         }
     }
 }

@@ -5,6 +5,7 @@
 //! [`crate::token::TokenKind`].
 
 use crate::error::LangError;
+use crate::span::Span;
 use crate::token::{Keyword, Token, TokenKind};
 
 /// Tokenize a full source string.
@@ -21,6 +22,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 kind: $kind,
                 line,
                 col,
+                offset: i as u32,
+                len: $len as u32,
             });
             i += $len;
             col += $len as u32;
@@ -46,7 +49,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 }
             }
             '/' if next == Some('*') => {
-                let (sl, sc) = (line, col);
+                let (sl, sc, so) = (line, col, i as u32);
                 i += 2;
                 col += 2;
                 loop {
@@ -54,6 +57,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                         return Err(LangError::Lex {
                             line: sl,
                             col: sc,
+                            span: Span::new(so, so + 2),
                             message: "unterminated block comment".into(),
                         });
                     }
@@ -72,13 +76,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 }
             }
             c if c.is_ascii_digit() => {
-                let start = i;
                 let (value, len) = lex_number(&src[i..]).map_err(|message| LangError::Lex {
                     line,
                     col,
+                    span: Span::new(i as u32, (i + 1) as u32),
                     message,
                 })?;
-                let _ = start;
                 push!(TokenKind::Int(value), len);
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -93,7 +96,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                     Some(k) => TokenKind::Keyword(k),
                     None => TokenKind::Ident(word.to_string()),
                 };
-                tokens.push(Token { kind, line, col });
+                tokens.push(Token {
+                    kind,
+                    line,
+                    col,
+                    offset: start as u32,
+                    len: (i - start) as u32,
+                });
                 col += (i - start) as u32;
             }
             '<' if next == Some('<') => push!(TokenKind::Shl, 2),
@@ -127,6 +136,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 return Err(LangError::Lex {
                     line,
                     col,
+                    span: Span::new(i as u32, (i + 1) as u32),
                     message: format!("unexpected character `{other}`"),
                 })
             }
@@ -136,6 +146,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
         kind: TokenKind::Eof,
         line,
         col,
+        offset: bytes.len() as u32,
+        len: 0,
     });
     Ok(tokens)
 }

@@ -25,6 +25,7 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod span;
 pub mod token;
 
 pub use ast::{BinOp, Expr, Program, RegDecl, Stmt, UnOp};
@@ -32,6 +33,7 @@ pub use check::check;
 pub use error::LangError;
 pub use parser::parse;
 pub use pretty::pretty;
+pub use span::{line_col, source_line, Span};
 
 /// Parse and semantically check a design in one call.
 pub fn parse_and_check(src: &str) -> Result<Program, LangError> {

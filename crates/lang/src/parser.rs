@@ -28,6 +28,7 @@
 use crate::ast::{BinOp, Expr, Program, RegDecl, Stmt, UnOp};
 use crate::error::LangError;
 use crate::lexer::lex;
+use crate::span::Span;
 use crate::token::{Keyword, Token, TokenKind};
 
 /// Parse a complete `design` from source text.
@@ -49,11 +50,17 @@ impl Parser {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
     }
 
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span()
+    }
+
     fn err<T>(&self, message: impl Into<String>) -> Result<T, LangError> {
         let t = self.peek();
         Err(LangError::Parse {
             line: t.line,
             col: t.col,
+            span: t.span(),
             message: message.into(),
         })
     }
@@ -77,10 +84,15 @@ impl Parser {
     }
 
     fn ident(&mut self) -> Result<String, LangError> {
+        self.ident_spanned().map(|(s, _)| s)
+    }
+
+    fn ident_spanned(&mut self) -> Result<(String, Span), LangError> {
         match self.peek().kind.clone() {
             TokenKind::Ident(s) => {
+                let sp = self.peek().span();
                 self.pos += 1;
-                Ok(s)
+                Ok((s, sp))
             }
             other => self.err(format!("expected identifier, found {other}")),
         }
@@ -88,12 +100,15 @@ impl Parser {
 
     fn program(&mut self) -> Result<Program, LangError> {
         self.expect(TokenKind::Keyword(Keyword::Design))?;
-        let name = self.ident()?;
+        let (name, name_span) = self.ident_spanned()?;
         self.expect(TokenKind::LBrace)?;
         let mut prog = Program {
             name,
+            name_span,
             inputs: Vec::new(),
+            input_spans: Vec::new(),
             outputs: Vec::new(),
+            output_spans: Vec::new(),
             regs: Vec::new(),
             body: Vec::new(),
         };
@@ -103,7 +118,9 @@ impl Parser {
                 TokenKind::Keyword(Keyword::In) => {
                     self.pos += 1;
                     loop {
-                        prog.inputs.push(self.ident()?);
+                        let (n, sp) = self.ident_spanned()?;
+                        prog.inputs.push(n);
+                        prog.input_spans.push(sp);
                         if !self.eat(&TokenKind::Comma) {
                             break;
                         }
@@ -113,7 +130,9 @@ impl Parser {
                 TokenKind::Keyword(Keyword::Out) => {
                     self.pos += 1;
                     loop {
-                        prog.outputs.push(self.ident()?);
+                        let (n, sp) = self.ident_spanned()?;
+                        prog.outputs.push(n);
+                        prog.output_spans.push(sp);
                         if !self.eat(&TokenKind::Comma) {
                             break;
                         }
@@ -123,13 +142,13 @@ impl Parser {
                 TokenKind::Keyword(Keyword::Reg) => {
                     self.pos += 1;
                     loop {
-                        let name = self.ident()?;
+                        let (name, span) = self.ident_spanned()?;
                         let init = if self.eat(&TokenKind::Assign) {
                             Some(self.int_literal()?)
                         } else {
                             None
                         };
-                        prog.regs.push(RegDecl { name, init });
+                        prog.regs.push(RegDecl { name, init, span });
                         if !self.eat(&TokenKind::Comma) {
                             break;
                         }
@@ -170,12 +189,15 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let head = self.peek().span();
         match self.peek().kind.clone() {
             TokenKind::Keyword(Keyword::If) => {
                 self.pos += 1;
                 self.expect(TokenKind::LParen)?;
                 let cond = self.expr()?;
                 self.expect(TokenKind::RParen)?;
+                // `if (cond)` — keyword through the closing paren.
+                let span = head.join(self.prev_span());
                 let then_body = self.block()?;
                 let else_body = if self.eat(&TokenKind::Keyword(Keyword::Else)) {
                     self.block()?
@@ -186,6 +208,7 @@ impl Parser {
                     cond,
                     then_body,
                     else_body,
+                    span,
                 })
             }
             TokenKind::Keyword(Keyword::While) => {
@@ -193,8 +216,9 @@ impl Parser {
                 self.expect(TokenKind::LParen)?;
                 let cond = self.expr()?;
                 self.expect(TokenKind::RParen)?;
+                let span = head.join(self.prev_span());
                 let body = self.block()?;
-                Ok(Stmt::While { cond, body })
+                Ok(Stmt::While { cond, body, span })
             }
             TokenKind::Keyword(Keyword::Par) => {
                 self.pos += 1;
@@ -207,14 +231,19 @@ impl Parser {
                     return self.err("`par` needs at least one `{ … }` branch");
                 }
                 self.expect(TokenKind::RBrace)?;
-                Ok(Stmt::Par(branches))
+                Ok(Stmt::Par {
+                    branches,
+                    span: head,
+                })
             }
             TokenKind::Ident(_) => {
                 let target = self.ident()?;
                 self.expect(TokenKind::Assign)?;
                 let expr = self.expr()?;
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt::Assign { target, expr })
+                // The whole assignment, target through `;`.
+                let span = head.join(self.prev_span());
+                Ok(Stmt::Assign { target, expr, span })
             }
             other => self.err(format!("expected statement, found {other}")),
         }
@@ -345,8 +374,9 @@ impl Parser {
                 Ok(Expr::Const(v))
             }
             TokenKind::Ident(s) => {
+                let sp = self.peek().span();
                 self.pos += 1;
-                Ok(Expr::Var(s))
+                Ok(Expr::Var(s, sp))
             }
             TokenKind::LParen => {
                 self.pos += 1;
@@ -418,10 +448,35 @@ mod tests {
             panic!()
         };
         assert!(matches!(body[0], Stmt::If { .. }));
-        let Stmt::Par(branches) = &body[1] else {
+        let Stmt::Par { branches, .. } = &body[1] else {
             panic!()
         };
         assert_eq!(branches.len(), 2);
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = "design t { in x; out y; reg r = 0; r = x + 1; y = r; }";
+        let p = parse(src).unwrap();
+        assert_eq!(
+            &src[p.name_span.start as usize..p.name_span.end as usize],
+            "t"
+        );
+        assert_eq!(
+            &src[p.input_spans[0].start as usize..p.input_spans[0].end as usize],
+            "x"
+        );
+        assert_eq!(
+            &src[p.regs[0].span.start as usize..p.regs[0].span.end as usize],
+            "r"
+        );
+        let sp = p.body[0].span();
+        assert_eq!(&src[sp.start as usize..sp.end as usize], "r = x + 1;");
+        let Stmt::Assign { expr, .. } = &p.body[0] else {
+            panic!()
+        };
+        let vsp = expr.span();
+        assert_eq!(&src[vsp.start as usize..vsp.end as usize], "x");
     }
 
     #[test]

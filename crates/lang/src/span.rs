@@ -1,0 +1,124 @@
+//! Byte spans into the original source text.
+//!
+//! Every AST node that ends up naming a place, transition, or vertex of the
+//! compiled ETPN keeps the byte range it came from, so downstream
+//! diagnostics (the `etpn-lint` engine, error display) can point back at
+//! the `.hdl` source. Spans are half-open byte ranges `[start, end)`.
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: u32,
+    /// Byte offset one past the last byte.
+    pub end: u32,
+}
+
+impl Span {
+    /// The absent span (both offsets zero-length at origin). Used by
+    /// synthetic nodes with no source counterpart.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// A span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// True for the synthetic [`Span::DUMMY`] marker.
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span containing both `self` and `other`; dummy spans
+    /// are absorbed.
+    pub fn join(self, other: Span) -> Span {
+        if self.is_dummy() {
+            other
+        } else if other.is_dummy() {
+            self
+        } else {
+            Span::new(self.start.min(other.start), self.end.max(other.end))
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True when the span is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Map a byte `offset` into `src` to a 1-based `(line, column)` pair.
+///
+/// The shared helper behind the text diagnostic renderer and error
+/// display: columns count bytes from the last newline (the language is
+/// ASCII-only, so bytes and characters coincide). Offsets past the end of
+/// the text clamp to the final position.
+pub fn line_col(src: &str, offset: u32) -> (u32, u32) {
+    let offset = (offset as usize).min(src.len());
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for b in src.as_bytes()[..offset].iter() {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// The full text of the 1-based `line` of `src`, without its newline.
+/// Returns `None` when the line does not exist.
+pub fn source_line(src: &str, line: u32) -> Option<&str> {
+    src.lines().nth(line.saturating_sub(1) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basics() {
+        let src = "ab\ncd\n\nx";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 4), (2, 2));
+        assert_eq!(line_col(src, 6), (3, 1));
+        assert_eq!(line_col(src, 7), (4, 1));
+        // Past the end clamps.
+        assert_eq!(line_col(src, 99), (4, 2));
+    }
+
+    #[test]
+    fn source_line_lookup() {
+        let src = "ab\ncd\n\nx";
+        assert_eq!(source_line(src, 1), Some("ab"));
+        assert_eq!(source_line(src, 2), Some("cd"));
+        assert_eq!(source_line(src, 3), Some(""));
+        assert_eq!(source_line(src, 4), Some("x"));
+        assert_eq!(source_line(src, 5), None);
+    }
+
+    #[test]
+    fn join_and_dummy() {
+        let a = Span::new(4, 8);
+        let b = Span::new(10, 12);
+        assert_eq!(a.join(b), Span::new(4, 12));
+        assert_eq!(Span::DUMMY.join(b), b);
+        assert_eq!(a.join(Span::DUMMY), a);
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!a.is_dummy());
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+}

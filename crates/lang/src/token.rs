@@ -1,5 +1,7 @@
 //! Tokens of the behavioural description language.
 
+use crate::span::Span;
+
 /// A lexical token with its source position.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Token {
@@ -9,6 +11,17 @@ pub struct Token {
     pub line: u32,
     /// 1-based source column of the first character.
     pub col: u32,
+    /// Byte offset of the first character in the source text.
+    pub offset: u32,
+    /// Byte length of the token text.
+    pub len: u32,
+}
+
+impl Token {
+    /// The byte span this token covers.
+    pub fn span(&self) -> Span {
+        Span::new(self.offset, self.offset + self.len)
+    }
 }
 
 /// Token kinds.

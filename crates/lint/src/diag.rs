@@ -1,0 +1,216 @@
+//! The diagnostic model: stable codes, severities, source-mapped labels.
+//!
+//! Every finding of every lint becomes a [`Diagnostic`] carrying a stable
+//! [`Code`] from the catalogue below. `E1xx` codes are front-end errors,
+//! `E2xx` codes are violations of the paper's Def. 3.2 (a design carrying
+//! one is *not properly designed*), `W3xx` codes are lints: constructs
+//! that are legal under Def. 3.2 but almost certainly wrong.
+
+use etpn_lang::Span;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// The design violates a hard rule (front end or Def. 3.2).
+    Error,
+    /// The design is suspicious; `--deny warnings` promotes these.
+    Warning,
+    /// Informational (e.g. idle synchronisation states).
+    Note,
+}
+
+impl Severity {
+    /// Sort rank: errors first.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            Severity::Error => 0,
+            Severity::Warning => 1,
+            Severity::Note => 2,
+        }
+    }
+
+    /// Lower-case name as rendered (`error` / `warning` / `note`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// A stable diagnostic code with its catalogue entry.
+#[derive(PartialEq, Eq, Debug)]
+pub struct Code {
+    /// Stable identifier, e.g. `E202`.
+    pub id: &'static str,
+    /// Kebab-case rule name, e.g. `unsafe-net` (the SARIF rule name).
+    pub name: &'static str,
+    /// One-line meaning, shown in `--format=sarif` rule metadata and the
+    /// README catalogue.
+    pub summary: &'static str,
+    /// Default severity of findings carrying this code.
+    pub severity: Severity,
+}
+
+macro_rules! codes {
+    ($($konst:ident = ($id:literal, $name:literal, $sev:ident, $summary:literal);)*) => {
+        $(
+            #[doc = concat!("`", $id, "` (", $name, "): ", $summary)]
+            pub const $konst: &Code = &Code {
+                id: $id,
+                name: $name,
+                summary: $summary,
+                severity: Severity::$sev,
+            };
+        )*
+        /// Every code in the catalogue, in id order.
+        pub const ALL_CODES: &[&Code] = &[$($konst),*];
+    };
+}
+
+codes! {
+    E101 = ("E101", "lex-error", Error,
+        "the source text cannot be tokenised");
+    E102 = ("E102", "parse-error", Error,
+        "the source text does not parse as a design program");
+    E103 = ("E103", "semantic-error", Error,
+        "a name-binding or structural rule of the language is violated");
+    E201 = ("E201", "parallel-resource-sharing", Error,
+        "parallel control states share data-path vertices or arcs (Def. 3.2(1))");
+    E202 = ("E202", "unsafe-net", Error,
+        "a reachable marking puts more than one token on a place (Def. 3.2(2))");
+    E203 = ("E203", "unproven-conflict", Error,
+        "transitions sharing an input place lack provably exclusive guards (Def. 3.2(3))");
+    E204 = ("E204", "combinational-loop", Error,
+        "a control state closes a combinational cycle in the data path (Def. 3.2(4))");
+    E205 = ("E205", "no-sequential-vertex", Error,
+        "a working control state latches nothing and is invisible to the environment (Def. 3.2(5))");
+    W301 = ("W301", "dead-place", Warning,
+        "a control place can never be marked from the initial marking");
+    W302 = ("W302", "dead-transition", Warning,
+        "a transition can never fire from the initial marking");
+    W303 = ("W303", "dead-vertex", Warning,
+        "a data-path vertex is never activated by a live state or read by a live guard");
+    W304 = ("W304", "dead-arc", Warning,
+        "a data-path arc is only opened by dead places");
+    W305 = ("W305", "guard-incomplete", Warning,
+        "all guards leaving a place can be false at once, so its token may stall silently");
+    W306 = ("W306", "write-never-read", Warning,
+        "a register is written but its value is never read");
+    W307 = ("W307", "write-write-race", Warning,
+        "possibly concurrent states drive the same sequential input port");
+    W308 = ("W308", "idle-state", Note,
+        "a control state opens no arcs (pure synchronisation point)");
+    W390 = ("W390", "analysis-budget", Warning,
+        "the exploration budget ran out before safeness could be settled");
+}
+
+/// Look a code up by its stable id (`"W307"` → [`W307`]).
+pub fn lookup(id: &str) -> Option<&'static Code> {
+    ALL_CODES.iter().copied().find(|c| c.id == id)
+}
+
+/// A source location attached to a diagnostic. Labels with a
+/// [`Span::DUMMY`] span render as plain notes (model-level constructs the
+/// compiler did not map back to source, e.g. builder-made test nets).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Label {
+    /// Byte span into the `.hdl` source; may be dummy.
+    pub span: Span,
+    /// What this span shows, e.g. ``"place `s1` compiled from this statement"``.
+    pub message: String,
+}
+
+/// One finding: a stable code, a severity, a message and source labels.
+/// The first label with a real span is the primary location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Catalogue entry.
+    pub code: &'static Code,
+    /// Severity (defaults to the code's, but `--deny warnings` style
+    /// promotion happens at exit-code time, not here).
+    pub severity: Severity,
+    /// Human-readable, design-specific message.
+    pub message: String,
+    /// Source labels; may be empty for whole-design findings.
+    pub labels: Vec<Label>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no labels.
+    pub fn new(code: &'static Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity,
+            message: message.into(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Append a label (dummy spans are kept: they still render as notes).
+    pub fn with_label(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.labels.push(Label {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// The first label carrying a real span, if any.
+    pub fn primary_span(&self) -> Option<Span> {
+        self.labels.iter().map(|l| l.span).find(|s| !s.is_dummy())
+    }
+
+    /// Deterministic ordering key: severity, then code, then source
+    /// position, then message.
+    pub(crate) fn sort_key(&self) -> (u8, &'static str, u32, String) {
+        (
+            self.severity.rank(),
+            self.code.id,
+            self.primary_span().map_or(u32::MAX, |s| s.start),
+            self.message.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_ids_are_unique_and_sorted() {
+        let ids: Vec<&str> = ALL_CODES.iter().map(|c| c.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "codes must be unique and listed in id order");
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        for code in ALL_CODES {
+            assert_eq!(lookup(code.id), Some(*code));
+        }
+        assert_eq!(lookup("E999"), None);
+    }
+
+    #[test]
+    fn severity_conventions() {
+        for code in ALL_CODES {
+            if code.id.starts_with('E') {
+                assert_eq!(code.severity, Severity::Error, "{}", code.id);
+            } else {
+                assert_ne!(code.severity, Severity::Error, "{}", code.id);
+            }
+        }
+    }
+
+    #[test]
+    fn primary_span_skips_dummies() {
+        let d = Diagnostic::new(W301, "x")
+            .with_label(Span::DUMMY, "a")
+            .with_label(Span::new(3, 7), "b");
+        assert_eq!(d.primary_span(), Some(Span::new(3, 7)));
+    }
+}

@@ -1,0 +1,188 @@
+//! `W307` write-write races: two control states that may hold tokens
+//! simultaneously while driving the same sequential input port.
+//!
+//! The Def. 3.2(1) check judges parallelism on the acyclic skeleton of
+//! the flow relation, which models *same-activation* concurrency of
+//! structured nets — a marked place reachable only through a dead
+//! transition, or concurrency created by token accumulation, escapes it.
+//! This lint over-approximates true marking concurrency through
+//! **P-invariants** instead, never enumerating the reachability graph:
+//! two places lying on a common non-negative invariant with initial
+//! token count 1 are mutually exclusive ([`PInvariants::excludes`]); any
+//! pair of register-writing states *not* so excluded is reported as
+//! possibly concurrent.
+//!
+//! Dead writers (per the monotone marking fixpoint) are skipped — a
+//! state that can never hold a token races with nothing.
+
+use super::dead::maybe_marked;
+use super::{place_name, place_span, vertex_name, vertex_span};
+use crate::diag::{Diagnostic, W307};
+use crate::LintContext;
+use etpn_analysis::invariants::{cyclic_closure, p_invariants, p_semiflows};
+use etpn_core::vertex::VertexKind;
+use etpn_core::{Etpn, PlaceId, VertexId};
+use std::collections::HashSet;
+
+/// A possibly-concurrent pair of writers into one sequential vertex.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RacePair {
+    /// The driven register (or output pad).
+    pub vertex: VertexId,
+    /// First writing state (the smaller id of the normalised pair).
+    pub s1: PlaceId,
+    /// Second writing state.
+    pub s2: PlaceId,
+}
+
+/// All write-write pairs the P-invariants cannot exclude. Public so the
+/// property suite can compare the over-approximation against exact
+/// marking concurrency ([`etpn_analysis::ReachGraph::ever_comarked`]).
+pub fn possibly_concurrent_writes(g: &Etpn) -> Vec<RacePair> {
+    // A terminating design's sink transition destroys every invariant;
+    // analyse the cyclic closure instead (sound: it only adds behaviour).
+    // Minimal semiflows make `excludes` complete for single-invariant
+    // questions; fall back to the plain basis if they blow up.
+    let closed = cyclic_closure(&g.ctl);
+    let pinv = p_semiflows(&closed).unwrap_or_else(|| p_invariants(&closed));
+    let (live_places, _) = maybe_marked(&g.ctl);
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for (v, vx) in g.dp.vertices().iter() {
+        let writable = vx.kind == VertexKind::Output
+            || (vx.kind == VertexKind::Unit && g.dp.is_sequential_vertex(v));
+        if !writable {
+            continue;
+        }
+        for &inp in &vx.inputs {
+            // Every (arc, opening place) pair that can drive this port.
+            let mut writers: Vec<(etpn_core::ArcId, PlaceId)> = Vec::new();
+            for &a in g.dp.incoming_arcs(inp) {
+                for s in g.ctl.controllers_of(a) {
+                    writers.push((a, s));
+                }
+            }
+            for (i, &(a1, s1)) in writers.iter().enumerate() {
+                for &(a2, s2) in &writers[i + 1..] {
+                    if a1 == a2 || s1 == s2 {
+                        // Same arc → same value; same state opening two
+                        // arcs into one port is a static double drive
+                        // the core validator rejects.
+                        continue;
+                    }
+                    if !live_places.contains(&s1) || !live_places.contains(&s2) {
+                        continue;
+                    }
+                    if pinv.excludes(&closed, s1, s2) {
+                        continue;
+                    }
+                    let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+                    if seen.insert((v, lo, hi)) {
+                        out.push(RacePair {
+                            vertex: v,
+                            s1: lo,
+                            s2: hi,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the write-write race lint.
+pub fn write_write_races(cx: &LintContext) -> Vec<Diagnostic> {
+    possibly_concurrent_writes(cx.g)
+        .into_iter()
+        .map(|pair| {
+            Diagnostic::new(
+                W307,
+                format!(
+                    "states `{}` and `{}` may be marked together and both drive `{}`: \
+                     write-write race",
+                    place_name(cx, pair.s1),
+                    place_name(cx, pair.s2),
+                    vertex_name(cx, pair.vertex),
+                ),
+            )
+            .with_label(place_span(cx, pair.s1), "first writing state")
+            .with_label(place_span(cx, pair.s2), "second writing state")
+            .with_label(
+                vertex_span(cx, pair.vertex),
+                format!(
+                    "`{}` written from both states",
+                    vertex_name(cx, pair.vertex)
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpn_core::EtpnBuilder;
+
+    /// Sequenced writers lie on one invariant: excluded, no race.
+    #[test]
+    fn sequential_writers_not_reported() {
+        let mut b = EtpnBuilder::new();
+        let k1 = b.constant(1, "k1");
+        let k2 = b.constant(2, "k2");
+        let r = b.register("r");
+        let a1 = b.connect(b.out_port(k1, 0), b.in_port(r, 0));
+        let a2 = b.connect(b.out_port(k2, 0), b.in_port(r, 0));
+        let s0 = b.place("s0");
+        let s1 = b.place("s1");
+        b.control(s0, [a1]);
+        b.control(s1, [a2]);
+        b.seq(s0, s1, "t0");
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        assert!(possibly_concurrent_writes(&g).is_empty());
+    }
+
+    /// Forked writers share no sum-1 invariant: reported.
+    #[test]
+    fn forked_writers_reported() {
+        let mut b = EtpnBuilder::new();
+        let k1 = b.constant(1, "k1");
+        let k2 = b.constant(2, "k2");
+        let r = b.register("r");
+        let a1 = b.connect(b.out_port(k1, 0), b.in_port(r, 0));
+        let a2 = b.connect(b.out_port(k2, 0), b.in_port(r, 0));
+        let s0 = b.place("s0");
+        let sa = b.place("sa");
+        let sb = b.place("sb");
+        b.control(sa, [a1]);
+        b.control(sb, [a2]);
+        let tf = b.transition("fork");
+        b.flow_st(s0, tf);
+        b.flow_ts(tf, sa);
+        b.flow_ts(tf, sb);
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        let races = possibly_concurrent_writes(&g);
+        assert_eq!(races.len(), 1, "{races:?}");
+        assert_eq!((races[0].s1, races[0].s2), (sa, sb));
+    }
+
+    /// A dead writer races with nothing.
+    #[test]
+    fn dead_writer_skipped() {
+        let mut b = EtpnBuilder::new();
+        let k1 = b.constant(1, "k1");
+        let k2 = b.constant(2, "k2");
+        let r = b.register("r");
+        let a1 = b.connect(b.out_port(k1, 0), b.in_port(r, 0));
+        let a2 = b.connect(b.out_port(k2, 0), b.in_port(r, 0));
+        let s0 = b.place("s0");
+        let s_dead = b.place("s_dead");
+        b.control(s0, [a1]);
+        b.control(s_dead, [a2]);
+        b.mark(s0);
+        let g = b.finish().unwrap();
+        assert!(possibly_concurrent_writes(&g).is_empty());
+    }
+}

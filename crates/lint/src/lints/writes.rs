@@ -1,0 +1,103 @@
+//! `W306` write-never-read: a register that is loaded but whose value
+//! never reaches anything — no data-path arc leaves it and no transition
+//! reads it as a guard.
+//!
+//! One idiom is deliberately excluded: the **condition latch**. The
+//! compiler's decide states latch the comparator bit into a `cbit`
+//! register purely so the state does observable sequential work
+//! (Def. 3.2(5)); the *comparator output* is what guards the branch
+//! transitions, and the latch itself is never read back. Any register
+//! whose writing arc's source port guards some transition follows that
+//! idiom and is skipped.
+
+use super::{vertex_name, vertex_span};
+use crate::diag::{Diagnostic, W306};
+use crate::LintContext;
+use etpn_core::vertex::VertexKind;
+
+/// Run the write-never-read lint.
+pub fn write_never_read(cx: &LintContext) -> Vec<Diagnostic> {
+    let g = cx.g;
+    let mut out = Vec::new();
+    for (v, vx) in g.dp.vertices().iter() {
+        if vx.kind != VertexKind::Unit || !g.dp.is_sequential_vertex(v) {
+            continue;
+        }
+        let written = vx.inputs.iter().any(|&p| !g.dp.incoming_arcs(p).is_empty());
+        if !written {
+            continue; // never written at all: the dead-vertex lint covers it
+        }
+        let read = vx
+            .outputs
+            .iter()
+            .any(|&p| !g.dp.outgoing_arcs(p).is_empty() || !g.ctl.guarded_by(p).is_empty());
+        if read {
+            continue;
+        }
+        // Condition-latch idiom: the latched value is observable through
+        // the guard on the arc's source port.
+        let latches_condition = vx.inputs.iter().any(|&p| {
+            g.dp.incoming_arcs(p)
+                .iter()
+                .any(|&a| !g.ctl.guarded_by(g.dp.arc(a).from).is_empty())
+        });
+        if latches_condition {
+            continue;
+        }
+        out.push(
+            Diagnostic::new(
+                W306,
+                format!(
+                    "register `{}` is written but its value is never read",
+                    vertex_name(cx, v)
+                ),
+            )
+            .with_label(vertex_span(cx, v), "write-only register"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lint_compiled, LintConfig};
+
+    fn w306_messages(src: &str) -> Vec<String> {
+        let d = etpn_synth::compile_source(src).unwrap();
+        lint_compiled(&d, &LintConfig::default())
+            .diagnostics
+            .into_iter()
+            .filter(|d| d.code.id == "W306")
+            .map(|d| d.message)
+            .collect()
+    }
+
+    #[test]
+    fn unread_register_flagged_with_decl_span() {
+        let src = "design d { in a; out y; reg r, s;\n  r = a;\n  s = a;\n  y = s; }";
+        let d = etpn_synth::compile_source(src).unwrap();
+        let report = lint_compiled(&d, &LintConfig::default());
+        let w306: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.id == "W306")
+            .collect();
+        assert_eq!(w306.len(), 1, "{:?}", report.diagnostics);
+        assert!(w306[0].message.contains("`r`"));
+        // The label points at the declaration of `r` in the source.
+        let span = w306[0].primary_span().expect("mapped to source");
+        assert_eq!(&src[span.start as usize..span.end as usize], "r");
+    }
+
+    #[test]
+    fn condition_latches_excluded() {
+        // The while loop's `cbit` latch is written and never read, but
+        // its source comparator guards the branch — not a finding.
+        assert!(w306_messages(&etpn_workloads::gcd::source()).is_empty());
+    }
+
+    #[test]
+    fn read_registers_pass() {
+        assert!(w306_messages("design d { in a; out y; reg r; r = a; y = r; }").is_empty());
+    }
+}

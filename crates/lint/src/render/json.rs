@@ -1,0 +1,90 @@
+//! JSON-lines rendering: one self-contained object per diagnostic, built
+//! on the workspace's dependency-free JSON document model.
+
+use crate::diag::Diagnostic;
+use etpn_core::json::Json;
+use etpn_lang::line_col;
+
+/// Render one JSON object per diagnostic, newline-separated.
+pub fn json_lines(diags: &[Diagnostic], path: &str, source: &str) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let labels: Vec<Json> = d
+            .labels
+            .iter()
+            .map(|l| {
+                if l.span.is_dummy() {
+                    return Json::obj([("message", Json::Str(l.message.clone()))]);
+                }
+                let (line, col) = line_col(source, l.span.start);
+                Json::obj([
+                    ("start", Json::Num(l.span.start as i64)),
+                    ("end", Json::Num(l.span.end as i64)),
+                    ("line", Json::Num(line as i64)),
+                    ("col", Json::Num(col as i64)),
+                    ("message", Json::Str(l.message.clone())),
+                ])
+            })
+            .collect();
+        let obj = Json::obj([
+            ("code", Json::Str(d.code.id.to_string())),
+            ("name", Json::Str(d.code.name.to_string())),
+            ("severity", Json::Str(d.severity.as_str().to_string())),
+            ("message", Json::Str(d.message.clone())),
+            ("file", Json::Str(path.to_string())),
+            ("labels", Json::Arr(labels)),
+        ]);
+        out.push_str(&compact(&obj));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render on one line (the document model's `pretty` is multi-line).
+fn compact(json: &Json) -> String {
+    match json {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => n.to_string(),
+        Json::Str(_) => json.pretty(),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(compact).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(pairs) => {
+            let inner: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{}:{}", Json::Str(k.clone()).pretty(), compact(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, E202};
+    use etpn_lang::Span;
+
+    #[test]
+    fn each_line_parses_back() {
+        let src = "design d {\n}";
+        let diags = vec![
+            Diagnostic::new(E202, "first").with_label(Span::new(0, 6), "here"),
+            Diagnostic::new(E202, "second"),
+        ];
+        let rendered = json_lines(&diags, "d.hdl", src);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let parsed = etpn_core::json::parse(line).expect("line is valid JSON");
+            assert_eq!(parsed.req("code").unwrap().as_str().unwrap(), "E202");
+            assert_eq!(parsed.req("severity").unwrap().as_str().unwrap(), "error");
+        }
+        let first = etpn_core::json::parse(rendered.lines().next().unwrap()).unwrap();
+        let labels = first.req("labels").unwrap().as_arr().unwrap();
+        assert_eq!(labels[0].req("line").unwrap().as_i64().unwrap(), 1);
+        assert_eq!(labels[0].req("col").unwrap().as_i64().unwrap(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Diagnostic renderers: rustc-style text, JSON lines, SARIF 2.1.
+//!
+//! All three take the same inputs — the diagnostics, the path the design
+//! was read from, and the source text (for line/column resolution and
+//! text excerpts). Labels with dummy spans (model-level constructs with
+//! no source mapping) degrade gracefully: plain notes in text, `line 0`
+//! omitted locations in SARIF.
+
+mod json;
+mod sarif;
+mod text;
+
+pub use json::json_lines;
+pub use sarif::sarif;
+pub use text::text;
+
+/// Output format selector, as parsed from `--format`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Format {
+    /// Human-readable text with source excerpts (the default).
+    Text,
+    /// One JSON object per diagnostic per line.
+    Json,
+    /// A single SARIF 2.1.0 document.
+    Sarif,
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "sarif" => Ok(Format::Sarif),
+            other => Err(format!("unknown format `{other}` (text|json|sarif)")),
+        }
+    }
+}
+
+/// Render `diags` in the chosen format.
+pub fn render(format: Format, diags: &[crate::Diagnostic], path: &str, source: &str) -> String {
+    match format {
+        Format::Text => text(diags, path, source),
+        Format::Json => json_lines(diags, path, source),
+        Format::Sarif => sarif(diags, path, source),
+    }
+}

@@ -1,0 +1,160 @@
+//! SARIF 2.1.0 rendering — the interchange format CI systems and code
+//! hosts ingest for inline annotation.
+//!
+//! One run, one tool (`etpn-lint`), the full rule catalogue under
+//! `tool.driver.rules`, and one `result` per diagnostic with `ruleId`,
+//! `ruleIndex`, `level`, `message.text` and physical locations carrying
+//! both line/column regions and absolute char offsets.
+
+use crate::diag::{Diagnostic, Severity, ALL_CODES};
+use etpn_core::json::Json;
+use etpn_lang::line_col;
+
+/// Render all diagnostics as a single SARIF 2.1.0 document.
+pub fn sarif(diags: &[Diagnostic], path: &str, source: &str) -> String {
+    let rules: Vec<Json> = ALL_CODES
+        .iter()
+        .map(|c| {
+            Json::obj([
+                ("id", Json::Str(c.id.to_string())),
+                ("name", Json::Str(c.name.to_string())),
+                (
+                    "shortDescription",
+                    Json::obj([("text", Json::Str(c.summary.to_string()))]),
+                ),
+            ])
+        })
+        .collect();
+
+    let results: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            let rule_index = ALL_CODES
+                .iter()
+                .position(|c| c.id == d.code.id)
+                .expect("every diagnostic uses a catalogued code");
+            let locations: Vec<Json> = d
+                .labels
+                .iter()
+                .filter(|l| !l.span.is_dummy())
+                .map(|l| {
+                    let (start_line, start_col) = line_col(source, l.span.start);
+                    let (end_line, end_col) = line_col(source, l.span.end);
+                    Json::obj([(
+                        "physicalLocation",
+                        Json::obj([
+                            (
+                                "artifactLocation",
+                                Json::obj([("uri", Json::Str(path.to_string()))]),
+                            ),
+                            (
+                                "region",
+                                Json::obj([
+                                    ("startLine", Json::Num(start_line as i64)),
+                                    ("startColumn", Json::Num(start_col as i64)),
+                                    ("endLine", Json::Num(end_line as i64)),
+                                    ("endColumn", Json::Num(end_col as i64)),
+                                    ("charOffset", Json::Num(l.span.start as i64)),
+                                    ("charLength", Json::Num(l.span.len() as i64)),
+                                ]),
+                            ),
+                        ]),
+                    )])
+                })
+                .collect();
+            let mut fields = vec![
+                ("ruleId", Json::Str(d.code.id.to_string())),
+                ("ruleIndex", Json::Num(rule_index as i64)),
+                ("level", Json::Str(level(d.severity).to_string())),
+                (
+                    "message",
+                    Json::obj([("text", Json::Str(d.message.clone()))]),
+                ),
+            ];
+            if !locations.is_empty() {
+                fields.push(("locations", Json::Arr(locations)));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+
+    Json::obj([
+        (
+            "$schema",
+            Json::Str("https://json.schemastore.org/sarif-2.1.0.json".to_string()),
+        ),
+        ("version", Json::Str("2.1.0".to_string())),
+        (
+            "runs",
+            Json::Arr(vec![Json::obj([
+                (
+                    "tool",
+                    Json::obj([(
+                        "driver",
+                        Json::obj([
+                            ("name", Json::Str("etpn-lint".to_string())),
+                            ("version", Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+                            (
+                                "informationUri",
+                                Json::Str("https://doi.org/10.1007/BF01786580".to_string()),
+                            ),
+                            ("rules", Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
+    ])
+    .pretty()
+}
+
+/// SARIF `level` for a severity.
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, E202, W307};
+    use etpn_core::json::parse;
+    use etpn_lang::Span;
+
+    #[test]
+    fn document_shape_is_valid() {
+        let src = "design d {\n  reg r;\n}";
+        let diags = vec![
+            Diagnostic::new(E202, "boom").with_label(Span::new(13, 18), "here"),
+            Diagnostic::new(W307, "race").with_label(Span::DUMMY, "unmapped"),
+        ];
+        let doc = parse(&sarif(&diags, "d.hdl", src)).expect("valid JSON");
+        assert_eq!(doc.req("version").unwrap().as_str().unwrap(), "2.1.0");
+        let runs = doc.req("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].req("tool").unwrap().req("driver").unwrap();
+        assert_eq!(driver.req("name").unwrap().as_str().unwrap(), "etpn-lint");
+        let rules = driver.req("rules").unwrap().as_arr().unwrap();
+        assert_eq!(rules.len(), ALL_CODES.len());
+        let results = runs[0].req("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        let first = &results[0];
+        assert_eq!(first.req("ruleId").unwrap().as_str().unwrap(), "E202");
+        assert_eq!(first.req("level").unwrap().as_str().unwrap(), "error");
+        let idx = first.req("ruleIndex").unwrap().as_index().unwrap();
+        assert_eq!(rules[idx].req("id").unwrap().as_str().unwrap(), "E202");
+        let region = first.req("locations").unwrap().as_arr().unwrap()[0]
+            .req("physicalLocation")
+            .unwrap()
+            .req("region")
+            .unwrap();
+        assert_eq!(region.req("startLine").unwrap().as_i64().unwrap(), 2);
+        assert_eq!(region.req("startColumn").unwrap().as_i64().unwrap(), 3);
+        // The dummy-span diagnostic has no locations key at all.
+        assert!(results[1].get("locations").is_none());
+    }
+}

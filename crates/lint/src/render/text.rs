@@ -1,0 +1,99 @@
+//! Rustc-style text rendering with source excerpts and caret underlines.
+
+use crate::diag::Diagnostic;
+use etpn_lang::{line_col, source_line, Span};
+
+/// Render all diagnostics as human-readable text.
+pub fn text(diags: &[Diagnostic], path: &str, source: &str) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}[{}]: {}\n",
+            d.severity.as_str(),
+            d.code.id,
+            d.message
+        ));
+        let mut first_real = true;
+        for label in &d.labels {
+            if label.span.is_dummy() {
+                out.push_str(&format!("  = note: {}\n", label.message));
+                continue;
+            }
+            render_span(
+                &mut out,
+                path,
+                source,
+                label.span,
+                &label.message,
+                first_real,
+            );
+            first_real = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One location block: `--> path:line:col`, the source line, a caret
+/// underline, and the label message.
+fn render_span(
+    out: &mut String,
+    path: &str,
+    source: &str,
+    span: Span,
+    message: &str,
+    primary: bool,
+) {
+    let (line, col) = line_col(source, span.start);
+    let gutter = line.to_string().len().max(2);
+    let arrow = if primary { "-->" } else { "::>" };
+    out.push_str(&format!(
+        "{:gutter$}{arrow} {path}:{line}:{col}\n",
+        "",
+        gutter = gutter
+    ));
+    if let Some(text) = source_line(source, line) {
+        out.push_str(&format!("{:gutter$} |\n", "", gutter = gutter));
+        out.push_str(&format!("{line:gutter$} | {text}\n", gutter = gutter));
+        // Carets cover the span's portion of this first line only.
+        let line_len = text.len() as u32;
+        let avail = line_len.saturating_sub(col - 1);
+        let width = span.len().min(avail).max(1) as usize;
+        out.push_str(&format!(
+            "{:gutter$} | {:pad$}{} {message}\n",
+            "",
+            "",
+            "^".repeat(width),
+            gutter = gutter,
+            pad = (col - 1) as usize,
+        ));
+    } else {
+        out.push_str(&format!("{:gutter$} = {message}\n", "", gutter = gutter));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, W301};
+
+    #[test]
+    fn excerpt_and_carets() {
+        let src = "design d {\n  reg r;\n}";
+        let span = Span::new(13, 18); // "reg r"
+        let d = Diagnostic::new(W301, "demo").with_label(span, "declared here");
+        let rendered = text(&[d], "d.hdl", src);
+        assert!(rendered.contains("warning[W301]: demo"), "{rendered}");
+        assert!(rendered.contains("--> d.hdl:2:3"), "{rendered}");
+        assert!(rendered.contains("reg r;"), "{rendered}");
+        assert!(rendered.contains("^^^^^ declared here"), "{rendered}");
+    }
+
+    #[test]
+    fn dummy_spans_become_notes() {
+        let d = Diagnostic::new(W301, "demo").with_label(Span::DUMMY, "no source");
+        let rendered = text(&[d], "d.hdl", "");
+        assert!(rendered.contains("= note: no source"), "{rendered}");
+        assert!(!rendered.contains("-->"), "{rendered}");
+    }
+}

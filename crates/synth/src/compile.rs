@@ -18,9 +18,49 @@
 //! unguarded line contributes nothing but a wasted control step.
 
 use crate::error::{SynthError, SynthResult};
-use etpn_core::{ArcId, Etpn, Op, PlaceId, PortId, VertexId};
-use etpn_lang::{BinOp, Expr, Program, Stmt, UnOp};
+use etpn_core::{ArcId, Etpn, Op, PlaceId, PortId, TransId, VertexId};
+use etpn_lang::{BinOp, Expr, Program, Span, Stmt, UnOp};
 use std::collections::HashMap;
+
+/// Maps compiled net elements back to the byte spans of the source
+/// constructs they were created for, so diagnostics on the ETPN can point
+/// into the original `.hdl` text. Elements with no source counterpart
+/// (glue transitions of compaction, the terminating transition) are
+/// simply absent.
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    /// Control place → span of the statement it executes.
+    pub place: HashMap<PlaceId, Span>,
+    /// Control transition → span of the statement that created it.
+    pub trans: HashMap<TransId, Span>,
+    /// Data-path vertex → span of its declaration or the expression
+    /// occurrence it was instantiated for.
+    pub vertex: HashMap<VertexId, Span>,
+    /// Data-path arc → span of the statement whose expression opened it.
+    pub arc: HashMap<ArcId, Span>,
+}
+
+impl SourceMap {
+    /// The span recorded for a place ([`Span::DUMMY`] when unmapped).
+    pub fn place_span(&self, p: PlaceId) -> Span {
+        self.place.get(&p).copied().unwrap_or(Span::DUMMY)
+    }
+
+    /// The span recorded for a transition ([`Span::DUMMY`] when unmapped).
+    pub fn trans_span(&self, t: TransId) -> Span {
+        self.trans.get(&t).copied().unwrap_or(Span::DUMMY)
+    }
+
+    /// The span recorded for a vertex ([`Span::DUMMY`] when unmapped).
+    pub fn vertex_span(&self, v: VertexId) -> Span {
+        self.vertex.get(&v).copied().unwrap_or(Span::DUMMY)
+    }
+
+    /// The span recorded for an arc ([`Span::DUMMY`] when unmapped).
+    pub fn arc_span(&self, a: ArcId) -> Span {
+        self.arc.get(&a).copied().unwrap_or(Span::DUMMY)
+    }
+}
 
 /// A compiled design with its name maps and register reset values.
 #[derive(Clone, Debug)]
@@ -37,6 +77,8 @@ pub struct CompiledDesign {
     pub reg_inits: Vec<(String, i64)>,
     /// The design name.
     pub name: String,
+    /// Net element → source span map for diagnostics.
+    pub src_map: SourceMap,
 }
 
 impl CompiledDesign {
@@ -59,19 +101,28 @@ pub fn compile(prog: &Program) -> SynthResult<CompiledDesign> {
         inputs: HashMap::new(),
         outputs: HashMap::new(),
         fresh: 0,
+        src_map: SourceMap::default(),
+        cur_span: Span::DUMMY,
     };
-    for name in &prog.inputs {
+    for (i, name) in prog.inputs.iter().enumerate() {
         let v = c.g.dp.add_input(name.clone());
         c.inputs.insert(name.clone(), v);
+        if let Some(&sp) = prog.input_spans.get(i) {
+            c.src_map.vertex.insert(v, sp);
+        }
     }
-    for name in &prog.outputs {
+    for (i, name) in prog.outputs.iter().enumerate() {
         let v = c.g.dp.add_output(name.clone());
         c.outputs.insert(name.clone(), v);
+        if let Some(&sp) = prog.output_spans.get(i) {
+            c.src_map.vertex.insert(v, sp);
+        }
     }
     let mut reg_inits = Vec::new();
     for r in &prog.regs {
         let v = c.g.dp.add_register(r.name.clone());
         c.regs.insert(r.name.clone(), v);
+        c.src_map.vertex.insert(v, r.span);
         if let Some(init) = r.init {
             reg_inits.push((r.name.clone(), init));
         }
@@ -93,6 +144,7 @@ pub fn compile(prog: &Program) -> SynthResult<CompiledDesign> {
         outputs: c.outputs,
         reg_inits,
         name: prog.name.clone(),
+        src_map: c.src_map,
     })
 }
 
@@ -102,6 +154,10 @@ struct Compiler {
     inputs: HashMap<String, VertexId>,
     outputs: HashMap<String, VertexId>,
     fresh: usize,
+    src_map: SourceMap,
+    /// Span of the statement currently being compiled; every net element
+    /// created while it is set maps back to it.
+    cur_span: Span,
 }
 
 impl Compiler {
@@ -110,9 +166,25 @@ impl Compiler {
         format!("{prefix}{}", self.fresh)
     }
 
+    fn add_place(&mut self, name: String) -> PlaceId {
+        let p = self.g.ctl.add_place(name);
+        if !self.cur_span.is_dummy() {
+            self.src_map.place.insert(p, self.cur_span);
+        }
+        p
+    }
+
+    fn add_transition(&mut self, name: String) -> TransId {
+        let t = self.g.ctl.add_transition(name);
+        if !self.cur_span.is_dummy() {
+            self.src_map.trans.insert(t, self.cur_span);
+        }
+        t
+    }
+
     fn seq(&mut self, from: PlaceId, to: PlaceId) -> SynthResult<()> {
         let name = self.fresh("t");
-        let t = self.g.ctl.add_transition(name);
+        let t = self.add_transition(name);
         self.g.ctl.flow_st(from, t)?;
         self.g.ctl.flow_ts(t, to)?;
         Ok(())
@@ -120,8 +192,18 @@ impl Compiler {
 
     fn connect(&mut self, from: PortId, to: PortId, arcs: &mut Vec<ArcId>) -> SynthResult<()> {
         let a = self.g.dp.connect(from, to)?;
+        if !self.cur_span.is_dummy() {
+            self.src_map.arc.insert(a, self.cur_span);
+        }
         arcs.push(a);
         Ok(())
+    }
+
+    fn note_vertex(&mut self, vx: VertexId) -> VertexId {
+        if !self.cur_span.is_dummy() {
+            self.src_map.vertex.insert(vx, self.cur_span);
+        }
+        vx
     }
 
     /// Compile an expression; returns the producing output port and
@@ -131,9 +213,10 @@ impl Compiler {
             Expr::Const(v) => {
                 let name = self.fresh("k");
                 let vx = self.g.dp.add_const(name, *v);
+                self.note_vertex(vx);
                 self.g.dp.out_port(vx, 0)
             }
-            Expr::Var(n) => {
+            Expr::Var(n, _) => {
                 if let Some(&v) = self.regs.get(n) {
                     self.g.dp.out_port(v, 0)
                 } else if let Some(&v) = self.inputs.get(n) {
@@ -149,6 +232,7 @@ impl Compiler {
                         let o = if *op == UnOp::Neg { Op::Neg } else { Op::Not };
                         let name = self.fresh("u");
                         let vx = self.g.dp.add_unit(name, 1, &[o])?;
+                        self.note_vertex(vx);
                         self.connect(p, self.g.dp.in_port(vx, 0), arcs)?;
                         self.g.dp.out_port(vx, 0)
                     }
@@ -156,8 +240,10 @@ impl Compiler {
                         // !x ≡ (x == 0)
                         let zname = self.fresh("k");
                         let z = self.g.dp.add_const(zname, 0);
+                        self.note_vertex(z);
                         let name = self.fresh("u");
                         let vx = self.g.dp.add_unit(name, 2, &[Op::Eq])?;
+                        self.note_vertex(vx);
                         self.connect(p, self.g.dp.in_port(vx, 0), arcs)?;
                         self.connect(self.g.dp.out_port(z, 0), self.g.dp.in_port(vx, 1), arcs)?;
                         self.g.dp.out_port(vx, 0)
@@ -170,6 +256,7 @@ impl Compiler {
                 let o = compile_binop(*op);
                 let name = self.fresh("op");
                 let vx = self.g.dp.add_unit(name, 2, &[o])?;
+                self.note_vertex(vx);
                 self.connect(pa, self.g.dp.in_port(vx, 0), arcs)?;
                 self.connect(pb, self.g.dp.in_port(vx, 1), arcs)?;
                 self.g.dp.out_port(vx, 0)
@@ -180,6 +267,7 @@ impl Compiler {
                 let pb = self.compile_expr(b, arcs)?;
                 let name = self.fresh("mux");
                 let vx = self.g.dp.add_unit(name, 3, &[Op::Mux])?;
+                self.note_vertex(vx);
                 // Mux: sel == 0 ⇒ in1, else in2. `c ? a : b` wants c≠0 ⇒ a.
                 self.connect(pc, self.g.dp.in_port(vx, 0), arcs)?;
                 self.connect(pb, self.g.dp.in_port(vx, 1), arcs)?;
@@ -200,6 +288,7 @@ impl Compiler {
                 let pb = self.compile_expr(b, &mut arcs)?;
                 let name = self.fresh("cmp");
                 let vx = self.g.dp.add_unit(name, 2, &[o, comp])?;
+                self.note_vertex(vx);
                 self.connect(pa, self.g.dp.in_port(vx, 0), &mut arcs)?;
                 self.connect(pb, self.g.dp.in_port(vx, 1), &mut arcs)?;
                 return Ok((self.g.dp.out_port(vx, 0), self.g.dp.out_port(vx, 1), arcs));
@@ -209,8 +298,10 @@ impl Compiler {
         let root = self.compile_expr(cond, &mut arcs)?;
         let zname = self.fresh("k");
         let z = self.g.dp.add_const(zname, 0);
+        self.note_vertex(z);
         let name = self.fresh("cmp");
         let vx = self.g.dp.add_unit(name, 2, &[Op::Ne, Op::Eq])?;
+        self.note_vertex(vx);
         self.connect(root, self.g.dp.in_port(vx, 0), &mut arcs)?;
         self.connect(
             self.g.dp.out_port(z, 0),
@@ -230,10 +321,14 @@ impl Compiler {
         let (true_p, false_p, mut arcs) = self.compile_cond(cond)?;
         let rname = self.fresh("cbit");
         let creg = self.g.dp.add_register(rname);
+        self.note_vertex(creg);
         let a = self.g.dp.connect(true_p, self.g.dp.in_port(creg, 0))?;
+        if !self.cur_span.is_dummy() {
+            self.src_map.arc.insert(a, self.cur_span);
+        }
         arcs.push(a);
         let pname = self.fresh(prefix);
-        let s = self.g.ctl.add_place(pname);
+        let s = self.add_place(pname);
         for arc in arcs {
             self.g.ctl.add_ctrl(s, arc);
         }
@@ -248,8 +343,9 @@ impl Compiler {
     }
 
     fn compile_stmt(&mut self, stmt: &Stmt, current: PlaceId) -> SynthResult<PlaceId> {
+        self.cur_span = stmt.span();
         match stmt {
-            Stmt::Assign { target, expr } => {
+            Stmt::Assign { target, expr, .. } => {
                 let mut arcs = Vec::new();
                 let root = self.compile_expr(expr, &mut arcs)?;
                 let target_in = if let Some(&v) = self.regs.get(target) {
@@ -263,7 +359,7 @@ impl Compiler {
                 };
                 self.connect(root, target_in, &mut arcs)?;
                 let pname = self.fresh(&format!("s_{target}_"));
-                let s = self.g.ctl.add_place(pname);
+                let s = self.add_place(pname);
                 for a in arcs {
                     self.g.ctl.add_ctrl(s, a);
                 }
@@ -274,77 +370,86 @@ impl Compiler {
                 cond,
                 then_body,
                 else_body,
+                span,
             } => {
+                let span = *span;
                 let (s_d, true_p, false_p) = self.decide_state(cond, "if")?;
                 self.seq(current, s_d)?;
                 let jname = self.fresh("join");
-                let s_j = self.g.ctl.add_place(jname);
+                let s_j = self.add_place(jname);
 
                 // then branch
                 let tename = self.fresh("the");
-                let s_te = self.g.ctl.add_place(tename);
+                let s_te = self.add_place(tename);
                 let ttname = self.fresh("t_then");
-                let t_then = self.g.ctl.add_transition(ttname);
+                let t_then = self.add_transition(ttname);
                 self.g.ctl.flow_st(s_d, t_then)?;
                 self.g.ctl.flow_ts(t_then, s_te)?;
                 self.g.ctl.add_guard(t_then, true_p);
                 let exit_t = self.compile_stmts(then_body, s_te)?;
+                self.cur_span = span;
                 self.seq(exit_t, s_j)?;
 
                 // else branch
                 let tename = self.fresh("t_else");
-                let t_else = self.g.ctl.add_transition(tename);
+                let t_else = self.add_transition(tename);
                 self.g.ctl.flow_st(s_d, t_else)?;
                 self.g.ctl.add_guard(t_else, false_p);
                 if else_body.is_empty() {
                     self.g.ctl.flow_ts(t_else, s_j)?;
                 } else {
                     let eename = self.fresh("ele");
-                    let s_ee = self.g.ctl.add_place(eename);
+                    let s_ee = self.add_place(eename);
                     self.g.ctl.flow_ts(t_else, s_ee)?;
                     let exit_e = self.compile_stmts(else_body, s_ee)?;
+                    self.cur_span = span;
                     self.seq(exit_e, s_j)?;
                 }
                 Ok(s_j)
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, span } => {
+                let span = *span;
                 let (s_d, true_p, false_p) = self.decide_state(cond, "wh")?;
                 self.seq(current, s_d)?;
                 // body
                 let bename = self.fresh("body");
-                let s_be = self.g.ctl.add_place(bename);
+                let s_be = self.add_place(bename);
                 let tbname = self.fresh("t_loop");
-                let t_body = self.g.ctl.add_transition(tbname);
+                let t_body = self.add_transition(tbname);
                 self.g.ctl.flow_st(s_d, t_body)?;
                 self.g.ctl.flow_ts(t_body, s_be)?;
                 self.g.ctl.add_guard(t_body, true_p);
                 let exit_b = self.compile_stmts(body, s_be)?;
+                self.cur_span = span;
                 self.seq(exit_b, s_d)?; // back edge
                                         // exit
                 let xname = self.fresh("wx");
-                let s_x = self.g.ctl.add_place(xname);
+                let s_x = self.add_place(xname);
                 let txname = self.fresh("t_exit");
-                let t_exit = self.g.ctl.add_transition(txname);
+                let t_exit = self.add_transition(txname);
                 self.g.ctl.flow_st(s_d, t_exit)?;
                 self.g.ctl.flow_ts(t_exit, s_x)?;
                 self.g.ctl.add_guard(t_exit, false_p);
                 Ok(s_x)
             }
-            Stmt::Par(branches) => {
+            Stmt::Par { branches, span } => {
+                let span = *span;
                 let fname = self.fresh("t_fork");
-                let t_fork = self.g.ctl.add_transition(fname);
+                let t_fork = self.add_transition(fname);
                 self.g.ctl.flow_st(current, t_fork)?;
                 let jname = self.fresh("t_join");
-                let t_join = self.g.ctl.add_transition(jname);
+                let t_join = self.add_transition(jname);
                 for (i, branch) in branches.iter().enumerate() {
+                    self.cur_span = span;
                     let bename = self.fresh(&format!("br{i}_"));
-                    let s_be = self.g.ctl.add_place(bename);
+                    let s_be = self.add_place(bename);
                     self.g.ctl.flow_ts(t_fork, s_be)?;
                     let exit_b = self.compile_stmts(branch, s_be)?;
                     self.g.ctl.flow_st(exit_b, t_join)?;
                 }
+                self.cur_span = span;
                 let jpname = self.fresh("pjoin");
-                let s_j = self.g.ctl.add_place(jpname);
+                let s_j = self.add_place(jpname);
                 self.g.ctl.flow_ts(t_join, s_j)?;
                 Ok(s_j)
             }

@@ -220,7 +220,7 @@ pub fn dfg_from_block(stmts: &[Stmt]) -> SynthResult<Dfg> {
     fn expr_node(dfg: &mut Dfg, env: &mut HashMap<String, usize>, e: &Expr) -> SynthResult<usize> {
         Ok(match e {
             Expr::Const(v) => push(dfg, Op::Const(*v), vec![], format!("k{v}")),
-            Expr::Var(n) => match env.get(n) {
+            Expr::Var(n, _) => match env.get(n) {
                 Some(&i) => i,
                 None => {
                     let i = push(dfg, Op::Input, vec![], n.clone());
@@ -261,7 +261,7 @@ pub fn dfg_from_block(stmts: &[Stmt]) -> SynthResult<Dfg> {
 
     for s in stmts {
         match s {
-            Stmt::Assign { target, expr } => {
+            Stmt::Assign { target, expr, .. } => {
                 let root = expr_node(&mut dfg, &mut env, expr)?;
                 env.insert(target.clone(), root);
             }

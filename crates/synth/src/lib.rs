@@ -30,7 +30,7 @@ pub mod verilog;
 
 pub use bind::{binding_report, BindingReport};
 pub use cleanup::{remove_dead_units, share_constants};
-pub use compile::{compile, CompiledDesign};
+pub use compile::{compile, CompiledDesign, SourceMap};
 pub use cost::{cost_report, CostReport};
 pub use dfg::{dfg_from_block, Dfg, ResourceClass};
 pub use error::{SynthError, SynthResult};

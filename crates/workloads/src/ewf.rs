@@ -94,7 +94,7 @@ mod tests {
     fn count_ops(stmts: &[Stmt], pred: &dyn Fn(&etpn_lang::BinOp) -> bool) -> usize {
         fn expr_count(e: &Expr, pred: &dyn Fn(&etpn_lang::BinOp) -> bool) -> usize {
             match e {
-                Expr::Const(_) | Expr::Var(_) => 0,
+                Expr::Const(_) | Expr::Var(..) => 0,
                 Expr::Unary(_, i) => expr_count(i, pred),
                 Expr::Binary(op, a, b) => {
                     usize::from(pred(op)) + expr_count(a, pred) + expr_count(b, pred)

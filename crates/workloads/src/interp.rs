@@ -93,7 +93,7 @@ impl<'p> Interp<'p> {
     fn exec_stmt(&mut self, s: &Stmt) -> Result<(), InterpError> {
         self.tick()?;
         match s {
-            Stmt::Assign { target, expr } => {
+            Stmt::Assign { target, expr, .. } => {
                 let (v, reads) = self.eval(expr)?;
                 self.consume(&reads);
                 if self.outputs.contains_key(target) {
@@ -107,6 +107,7 @@ impl<'p> Interp<'p> {
                 cond,
                 then_body,
                 else_body,
+                ..
             } => {
                 let (c, reads) = self.eval(cond)?;
                 self.consume(&reads);
@@ -116,7 +117,7 @@ impl<'p> Interp<'p> {
                     self.exec_block(else_body)
                 }
             }
-            Stmt::While { cond, body } => loop {
+            Stmt::While { cond, body, .. } => loop {
                 self.tick()?;
                 let (c, reads) = self.eval(cond)?;
                 self.consume(&reads);
@@ -125,7 +126,7 @@ impl<'p> Interp<'p> {
                 }
                 self.exec_block(body)?;
             },
-            Stmt::Par(branches) => {
+            Stmt::Par { branches, .. } => {
                 // Branches write disjoint registers (checked by the
                 // front-end); executing them in order is one legal
                 // interleaving.
@@ -148,7 +149,7 @@ impl<'p> Interp<'p> {
     fn eval_inner(&self, e: &Expr, reads: &mut Vec<String>) -> Result<i64, InterpError> {
         Ok(match e {
             Expr::Const(v) => *v,
-            Expr::Var(n) => {
+            Expr::Var(n, _) => {
                 if let Some((stream, pos)) = self.streams.get(n) {
                     if !reads.contains(n) {
                         reads.push(n.clone());

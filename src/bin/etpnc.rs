@@ -1,13 +1,24 @@
 //! `etpnc` — the command-line driver for the ETPN synthesis flow.
 //!
 //! ```text
-//! etpnc check  <design.hdl>                      # parse + Def. 3.2 analysis
+//! etpnc check  <design.hdl> [options]            # whole-design static verifier
 //! etpnc build  <design.hdl> [options]            # full synthesis → files
 //! etpnc run    <design.hdl> --set x=1,2 [...]    # simulate on the model
 //! etpnc interp <design.hdl> --set x=1,2 [...]    # reference interpreter
 //! etpnc fault  <design.hdl> --set x=1,2 [...]    # fault-injection campaign
 //! etpnc dot    <design.hdl>                      # graphviz to stdout
 //!
+//! check options:
+//!   --format text|json|sarif                  (diagnostic rendering, default
+//!                                              text; json is one object per
+//!                                              line, sarif is a SARIF 2.1.0
+//!                                              document)
+//!   --deny warnings                           (warnings also fail the run)
+//!   --allow CODE                              (suppress a diagnostic code,
+//!                                              repeatable, e.g. --allow W308)
+//!   --max-states N                            (marking budget for the
+//!                                              reachability-backed lints;
+//!                                              exhaustion degrades to W390)
 //! build options:
 //!   --objective min-delay|min-area|balanced   (default balanced)
 //!   --max-area N | --max-latency N            (constraint for the objective)
@@ -50,6 +61,7 @@
 //! exit codes:
 //!   0   success
 //!   1   error (bad usage, compile failure, simulation fault, …)
+//!   2   check found denied diagnostics (errors, or warnings under --deny)
 //!   3   simulation hit the step limit
 //!   4   deadlock: no transition is token-enabled but tokens remain
 //!   5   wall-clock budget exhausted
@@ -62,6 +74,11 @@ use etpn::sim::{ScriptedEnv, Simulator, Termination};
 use etpn::synth::{synthesize, Grade, ModuleLibrary, Objective};
 use std::process::ExitCode;
 
+/// Exit code for `check` reporting diagnostics that fail the run: errors
+/// always, warnings under `--deny warnings` (distinct from generic
+/// failure, `1`, so scripts can tell "design has findings" from "the tool
+/// itself broke").
+const EXIT_FINDINGS: u8 = 2;
 /// Exit code for a run that stopped on the step budget instead of
 /// terminating or quiescing (distinct from generic failure, `1`).
 const EXIT_STEP_LIMIT: u8 = 3;
@@ -137,20 +154,104 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Every value of a repeatable flag, accepting both `--flag v` and
+/// `--flag=v` spellings.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let prefix = format!("{flag}=");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+            i += 2;
+        } else {
+            if let Some(v) = args[i].strip_prefix(&prefix) {
+                out.push(v.to_string());
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
-    let (_, src) = read_source(args)?;
-    let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
-    let (v, p, a, s, t) = d.etpn.size();
-    println!(
-        "design `{}`: {v} vertices, {p} ports, {a} arcs, {s} states, {t} transitions",
-        d.name
-    );
-    let report = check_properly_designed(&d.etpn);
-    print!("{}", report.summary());
-    if report.is_proper() {
-        Ok(ExitCode::SUCCESS)
+    use etpn::lint::render::{render, Format};
+    use etpn::lint::{lang_diagnostic, lint_compiled, LintConfig, Severity};
+
+    let (path, src) = read_source(args)?;
+    let format: Format = flag_values(args, "--format")
+        .last()
+        .map_or("text", String::as_str)
+        .parse()?;
+    let deny_warnings = match flag_values(args, "--deny").last().map(String::as_str) {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(format!("--deny {other}: only `warnings` can be denied")),
+    };
+    let allow = flag_values(args, "--allow");
+    for code in &allow {
+        if etpn::lint::lookup(code).is_none() {
+            return Err(format!("--allow {code}: unknown diagnostic code"));
+        }
+    }
+    let mut cfg = LintConfig {
+        allow,
+        ..LintConfig::default()
+    };
+    if let Some(n) = flag_values(args, "--max-states").last() {
+        cfg.max_states = n.parse().map_err(|e| format!("--max-states: {e}"))?;
+    }
+
+    let emit = |diags: &[etpn::lint::Diagnostic]| {
+        let out = render(format, diags, &path, &src);
+        print!("{out}");
+        if !out.is_empty() && !out.ends_with('\n') {
+            println!();
+        }
+    };
+
+    // Front-end failures flow through the same renderers as lint findings.
+    let prog = match etpn::lang::parse_and_check(&src) {
+        Ok(prog) => prog,
+        Err(e) => {
+            emit(&[lang_diagnostic(&e)]);
+            if format == Format::Text {
+                println!("check: 1 error, 0 warnings, 0 notes");
+            }
+            return Ok(ExitCode::from(EXIT_FINDINGS));
+        }
+    };
+    let d = etpn::synth::compile(&prog).map_err(|e| e.to_string())?;
+    if format == Format::Text {
+        let (v, p, a, s, t) = d.etpn.size();
+        println!(
+            "design `{}`: {v} vertices, {p} ports, {a} arcs, {s} states, {t} transitions",
+            d.name
+        );
+    }
+    let report = lint_compiled(&d, &cfg);
+    emit(&report.diagnostics);
+    if format == Format::Text {
+        let (errors, warnings, notes) = report.counts();
+        println!("check: {errors} errors, {warnings} warnings, {notes} notes");
+        if errors > 0 {
+            println!("design is NOT properly designed (Def. 3.2)");
+        } else if report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Warning)
+        {
+            println!("design is properly designed (Def. 3.2), with lint warnings");
+        } else {
+            println!("design is properly designed (Def. 3.2)");
+        }
+    }
+    if report.has_denied(deny_warnings) {
+        Ok(ExitCode::from(EXIT_FINDINGS))
     } else {
-        Err("design is not properly designed".into())
+        Ok(ExitCode::SUCCESS)
     }
 }
 

@@ -71,11 +71,13 @@
 //! | [`lang`] | `etpn-lang` | behavioural HDL front-end |
 //! | [`synth`] | `etpn-synth` | CAMAD-style synthesis pipeline |
 //! | [`workloads`] | `etpn-workloads` | diffeq, EWF, FIR16, GCD, AR lattice, IIR, α–β, isqrt, random nets |
+//! | [`lint`] | `etpn-lint` | whole-design static verifier: diagnostics, dead-code/race lints, SARIF |
 //! | [`obs`] | `etpn-obs` | spans, counters, Chrome-trace/stats exporters |
 
 pub use etpn_analysis as analysis;
 pub use etpn_core as core;
 pub use etpn_lang as lang;
+pub use etpn_lint as lint;
 pub use etpn_obs as obs;
 pub use etpn_sim as sim;
 pub use etpn_synth as synth;

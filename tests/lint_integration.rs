@@ -1,0 +1,250 @@
+//! Integration tests for the `etpn-lint` static verifier.
+//!
+//! Three families:
+//!
+//! 1. **Cleanliness** — every shipped workload and example lints to zero
+//!    `E2xx` findings (properly designed *and* race/dead-code free).
+//! 2. **Seeded mutations** — designs deliberately broken in ways the
+//!    Def. 3.2 `check_properly_designed` procedure cannot see (its
+//!    parallelism judgement lives on the acyclic skeleton), which the new
+//!    lints must catch: a write-write race hidden behind a dead
+//!    synchronising transition, and a floating dead subsystem.
+//! 3. **Properties** — the structural fast paths agree with exhaustive
+//!    reachability on random designs: invariant-certified safeness is
+//!    never contradicted by exploration, and the race lint never reports
+//!    a pair the complete reachability graph proves non-concurrent.
+
+use etpn::analysis::proper::check_properly_designed;
+use etpn::analysis::reach::{is_safe, ReachGraph};
+use etpn::analysis::{cyclic_closure, p_invariants};
+use etpn::lint::{lint, lint_compiled, possibly_concurrent_writes, LintConfig, Severity};
+use etpn::synth::SourceMap;
+use etpn_workloads::{catalog, random_net, random_program, ProgramShape};
+use proptest::prelude::*;
+
+/// Every shipped workload is free of `E2xx` findings (Def. 3.2 holds) —
+/// and in fact free of warnings too: the lints hold on real designs.
+#[test]
+fn shipped_workloads_lint_clean() {
+    for w in catalog() {
+        let d = etpn::synth::compile_source(&w.source)
+            .unwrap_or_else(|e| panic!("{} does not compile: {e}", w.name));
+        let report = lint_compiled(&d, &LintConfig::default());
+        let errors: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{}: {errors:?}", w.name);
+        let warnings: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .collect();
+        assert!(warnings.is_empty(), "{}: {warnings:?}", w.name);
+    }
+}
+
+/// The shipped example file lints clean through the same path `etpnc
+/// check` uses.
+#[test]
+fn gcd_example_lints_clean() {
+    let src = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/gcd.hdl"))
+        .expect("example present");
+    let d = etpn::synth::compile_source(&src).expect("compiles");
+    let report = lint_compiled(&d, &LintConfig::default());
+    assert!(!report.has_denied(true), "{:?}", report.diagnostics);
+}
+
+/// Seed a write-write race into compiled gcd that `check_properly_designed`
+/// misses.
+///
+/// The mutation: a marked rogue place `s_rogue` opens a new arc driving
+/// the `x` register, and a transition `t_never` (whose second input place
+/// `s_never` is unmarked and has no producer) connects `s_rogue` to the
+/// design's initial place. The flow path `s_rogue → t_never → s_init`
+/// makes `s_rogue` *sequential* to every working state on the acyclic
+/// skeleton, so the Def. 3.2(1) parallel-resource check never compares
+/// them — yet `t_never` can never fire, so `s_rogue` stays marked while
+/// the real `x` writers run: a true write-write race.
+#[test]
+fn seeded_race_mutation_caught_by_lint_not_proper() {
+    let d = etpn::synth::compile_source(&etpn_workloads::gcd::source()).expect("compiles");
+    let mut g = d.etpn.clone();
+
+    let x = g.dp.vertex_by_name("x").expect("gcd has register x");
+    let y = g.dp.vertex_by_name("y").expect("gcd has register y");
+    let rogue_arc =
+        g.dp.connect(g.dp.out_port(y, 0), g.dp.in_port(x, 0))
+            .expect("new write arc");
+    let s_init = *g
+        .ctl
+        .initial_places()
+        .first()
+        .expect("gcd has an initial place");
+    let s_rogue = g.ctl.add_place("s_rogue");
+    let s_never = g.ctl.add_place("s_never");
+    let t_never = g.ctl.add_transition("t_never");
+    g.ctl.flow_st(s_rogue, t_never).unwrap();
+    g.ctl.flow_st(s_never, t_never).unwrap();
+    g.ctl.flow_ts(t_never, s_init).unwrap();
+    g.ctl.add_ctrl(s_rogue, rogue_arc);
+    g.ctl.set_marked0(s_rogue, true);
+
+    // The old checker is blind to it: the design still passes Def. 3.2.
+    let proper = check_properly_designed(&g);
+    assert!(proper.is_proper(), "{}", proper.summary());
+
+    // The reachability graph confirms the race is real, not a lint
+    // over-approximation artefact: s_rogue is co-marked with an x-writer.
+    let graph = ReachGraph::explore(&g.ctl, 1 << 16);
+    assert!(graph.complete);
+    let races = possibly_concurrent_writes(&g);
+    assert!(
+        races
+            .iter()
+            .any(|r| (r.s1 == s_rogue || r.s2 == s_rogue) && graph.ever_comarked(r.s1, r.s2)),
+        "{races:?}"
+    );
+
+    // And the lint reports it as W307, along with the dead scaffolding.
+    let report = lint(&g, &SourceMap::default(), &LintConfig::default());
+    let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code.id).collect();
+    assert!(codes.contains(&"W307"), "{:?}", report.diagnostics);
+    assert!(codes.contains(&"W301"), "s_never is dead: {codes:?}");
+    assert!(codes.contains(&"W302"), "t_never is dead: {codes:?}");
+    assert!(!codes.iter().any(|c| c.starts_with("E2")), "{codes:?}");
+}
+
+/// Seed a floating dead subsystem into compiled diffeq: an unmarked,
+/// producer-less place opening a write into a fresh register, plus a dead
+/// transition. `check_properly_designed` still passes (the subsystem
+/// shares nothing and does observable work *if it ever ran*), but every
+/// dead-code layer fires: place, transition, vertex, and arc.
+#[test]
+fn seeded_dead_code_mutation_caught_on_every_layer() {
+    let d = etpn::synth::compile_source(&etpn_workloads::diffeq::source()).expect("compiles");
+    let mut g = d.etpn.clone();
+
+    let src_reg =
+        g.dp.vertices()
+            .iter()
+            .find(|(v, vx)| {
+                vx.kind == etpn::core::vertex::VertexKind::Unit && g.dp.is_sequential_vertex(*v)
+            })
+            .map(|(v, _)| v)
+            .expect("diffeq has a register");
+    let reg_dead = g.dp.add_register("reg_dead");
+    let dead_arc =
+        g.dp.connect(g.dp.out_port(src_reg, 0), g.dp.in_port(reg_dead, 0))
+            .expect("new arc");
+    let s_float = g.ctl.add_place("s_float");
+    let t_dead = g.ctl.add_transition("t_dead");
+    g.ctl.flow_st(s_float, t_dead).unwrap();
+    g.ctl.add_ctrl(s_float, dead_arc);
+
+    let proper = check_properly_designed(&g);
+    assert!(proper.is_proper(), "{}", proper.summary());
+
+    let report = lint(&g, &SourceMap::default(), &LintConfig::default());
+    let has = |code: &str, what: &str| {
+        assert!(
+            report.diagnostics.iter().any(|d| d.code.id == code),
+            "missing {code} ({what}): {:?}",
+            report.diagnostics
+        );
+    };
+    has("W301", "dead place s_float");
+    has("W302", "dead transition t_dead");
+    has("W303", "dead vertex reg_dead");
+    has("W304", "dead arc into reg_dead");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.id.starts_with("E2")),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+/// The SARIF output of a real finding round-trips through the JSON parser
+/// with the shape CI ingesters require.
+#[test]
+fn sarif_output_shape() {
+    let src = "design w { in a; out y; reg r, s;\n  r = a;\n  s = a;\n  y = s; }";
+    let d = etpn::synth::compile_source(src).expect("compiles");
+    let report = lint_compiled(&d, &LintConfig::default());
+    assert!(!report.diagnostics.is_empty(), "fixture must have findings");
+    let doc = etpn::core::json::parse(&etpn::lint::render::sarif(
+        &report.diagnostics,
+        "w.hdl",
+        src,
+    ))
+    .expect("valid JSON");
+    assert_eq!(doc.req("version").unwrap().as_str().unwrap(), "2.1.0");
+    let run = &doc.req("runs").unwrap().as_arr().unwrap()[0];
+    let rules = run
+        .req("tool")
+        .unwrap()
+        .req("driver")
+        .unwrap()
+        .req("rules")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .len();
+    assert_eq!(rules, etpn::lint::ALL_CODES.len());
+    for result in run.req("results").unwrap().as_arr().unwrap() {
+        let id = result.req("ruleId").unwrap().as_str().unwrap();
+        assert!(etpn::lint::lookup(id).is_some(), "unknown ruleId {id}");
+        let idx = result.req("ruleIndex").unwrap().as_index().unwrap();
+        assert!(idx < rules);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant-certified safeness is never contradicted by exhaustive
+    /// exploration: `structurally_safe` on the cyclic closure is a sound
+    /// fast path for the safeness lint.
+    #[test]
+    fn structural_safeness_implies_explored_safeness(
+        seed in 0u64..500,
+        n_places in 3usize..24,
+    ) {
+        let g = random_net(seed, n_places);
+        let closed = cyclic_closure(&g.ctl);
+        if p_invariants(&closed).structurally_safe(&closed) {
+            prop_assert_eq!(is_safe(&g.ctl, 1 << 14), Some(true));
+        }
+    }
+
+    /// The race lint over-approximates concurrency but never *invents*
+    /// it on compiled structured programs: every reported pair really is
+    /// co-marked somewhere in the (complete) reachability graph.
+    #[test]
+    fn race_lint_agrees_with_reachability(
+        seed in 0u64..300,
+        assignments in 4usize..20,
+        par_percent in 0u32..60,
+    ) {
+        let prog = random_program(seed, ProgramShape {
+            assignments,
+            registers: 5,
+            par_percent,
+        });
+        let d = etpn::synth::compile(&prog).expect("compiles");
+        let graph = ReachGraph::explore(&d.etpn.ctl, 1 << 14);
+        // With an exhausted budget there is nothing to compare against.
+        if graph.complete {
+            for pair in possibly_concurrent_writes(&d.etpn) {
+                prop_assert!(
+                    graph.ever_comarked(pair.s1, pair.s2),
+                    "false positive: {pair:?} never co-marked"
+                );
+            }
+        }
+    }
+}
