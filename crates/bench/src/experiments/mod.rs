@@ -6,6 +6,7 @@
 pub mod e10_determinism;
 pub mod e11_obs;
 pub mod e12_fault;
+pub mod e13_coverage;
 pub mod e1_e2_equivalence;
 pub mod e3_parallelize;
 pub mod e4_pareto;
@@ -52,6 +53,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e10_determinism::run(scale),
         e11_obs::run(scale),
         e12_fault::run(scale),
+        e13_coverage::run(scale),
     ]
 }
 
@@ -71,6 +73,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "E10" => e10_determinism::run(scale),
         "E11" => e11_obs::run(scale),
         "E12" => e12_fault::run(scale),
+        "E13" => e13_coverage::run(scale),
         _ => return None,
     })
 }

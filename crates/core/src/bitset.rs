@@ -90,6 +90,28 @@ impl BitSet {
         }
     }
 
+    /// The raw `u64` words backing the set (bit `i` lives in word `i / 64`).
+    /// Exposed for word-parallel consumers such as the coverage collector.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// OR raw words into this set, zip-truncated to the shorter side, so a
+    /// smaller source never panics and bits beyond this set's capacity are
+    /// dropped. The word-parallel hot path of coverage recording.
+    pub fn union_words(&mut self, words: &[u64]) {
+        for (a, b) in self.words.iter_mut().zip(words) {
+            *a |= b;
+        }
+        // Mask stray bits past the capacity in the last word.
+        if let Some(last) = self.words.last_mut() {
+            let used = self.bits % 64;
+            if used != 0 {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
     /// `self ∩= other`. Panics if capacities differ.
     pub fn intersect_with(&mut self, other: &BitSet) {
         assert_eq!(self.bits, other.bits);
@@ -296,6 +318,20 @@ mod tests {
             d.insert(2);
             d
         }));
+    }
+
+    #[test]
+    fn union_words_truncates_and_masks() {
+        let mut s = BitSet::new(70);
+        let src: BitSet = [0usize, 63, 64, 69].into_iter().collect();
+        s.union_words(src.words());
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 69]);
+        // A wider source: bits past capacity must be dropped, not panic.
+        let mut small = BitSet::new(3);
+        let wide: BitSet = [1usize, 2, 40, 64].into_iter().collect();
+        small.union_words(wide.words());
+        assert_eq!(small.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(small.count(), 2);
     }
 
     #[test]

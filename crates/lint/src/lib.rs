@@ -38,6 +38,7 @@ pub mod lints;
 pub mod render;
 
 pub use diag::{lookup, Code, Diagnostic, Label, Severity, ALL_CODES};
+pub use lints::dead::statically_dead;
 pub use lints::race::{possibly_concurrent_writes, RacePair};
 
 use etpn_core::Etpn;

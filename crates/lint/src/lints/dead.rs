@@ -60,6 +60,22 @@ pub(crate) fn maybe_marked(ctl: &Control) -> (HashSet<PlaceId>, HashSet<TransId>
     (marked, fireable)
 }
 
+/// Places and transitions the monotone fixpoint proves statically dead —
+/// never markable / never fireable from `M0`. This is the conservative
+/// set coverage tooling may exclude from its denominators: a statically
+/// dead item is unreachable by construction, so its absence from a trace
+/// is not a testing gap. Results are sorted by raw id.
+pub fn statically_dead(ctl: &Control) -> (Vec<PlaceId>, Vec<TransId>) {
+    let (marked, fireable) = maybe_marked(ctl);
+    let places = ctl.places().ids().filter(|s| !marked.contains(s)).collect();
+    let transitions = ctl
+        .transitions()
+        .ids()
+        .filter(|t| !fireable.contains(t))
+        .collect();
+    (places, transitions)
+}
+
 /// Run all four dead-code lints.
 pub fn dead_code(cx: &LintContext) -> Vec<Diagnostic> {
     let g = cx.g;

@@ -11,14 +11,18 @@ use etpn_core::{Etpn, PlaceId, TransId};
 /// Coverage summary of one run.
 #[derive(Clone, Debug)]
 pub struct CoverageReport {
-    /// States never activated, with names.
+    /// States never activated, with names (statically-dead ones omitted).
     pub unvisited_places: Vec<(PlaceId, String)>,
-    /// Transitions never fired, with names.
+    /// Transitions never fired, with names (statically-dead ones omitted).
     pub unfired_transitions: Vec<(TransId, String)>,
-    /// Activated states / total states.
+    /// Activated states / *live* states.
     pub place_coverage: (usize, usize),
-    /// Fired transitions / total transitions.
+    /// Fired transitions / *live* transitions.
     pub transition_coverage: (usize, usize),
+    /// Statically-dead places excluded from the denominator.
+    pub dead_places: usize,
+    /// Statically-dead transitions excluded from the denominator.
+    pub dead_transitions: usize,
 }
 
 impl CoverageReport {
@@ -40,11 +44,30 @@ impl CoverageReport {
     }
 }
 
-/// Compute coverage of `trace` over `g`.
+/// Compute coverage of `trace` over `g` with every element in the
+/// denominator (no static-deadness information).
 pub fn coverage(g: &Etpn, trace: &Trace) -> CoverageReport {
+    coverage_excluding(g, trace, &[], &[])
+}
+
+/// Compute coverage of `trace` over `g`, excluding statically-dead
+/// elements (as proven by `etpn_lint::statically_dead`) from both the
+/// denominators and the hole lists: an unreachable place that a run never
+/// visits is dead code, not a testing gap.
+pub fn coverage_excluding(
+    g: &Etpn,
+    trace: &Trace,
+    dead_places: &[PlaceId],
+    dead_transitions: &[TransId],
+) -> CoverageReport {
     let mut unvisited_places = Vec::new();
     let mut visited = 0usize;
+    let mut live_places = 0usize;
     for (s, place) in g.ctl.places().iter() {
+        if dead_places.contains(&s) {
+            continue;
+        }
+        live_places += 1;
         if trace.activations_of(s) > 0 {
             visited += 1;
         } else {
@@ -53,7 +76,12 @@ pub fn coverage(g: &Etpn, trace: &Trace) -> CoverageReport {
     }
     let mut unfired_transitions = Vec::new();
     let mut fired = 0usize;
+    let mut live_trans = 0usize;
     for (t, tr) in g.ctl.transitions().iter() {
+        if dead_transitions.contains(&t) {
+            continue;
+        }
+        live_trans += 1;
         if trace.firings_of(t) > 0 {
             fired += 1;
         } else {
@@ -61,10 +89,12 @@ pub fn coverage(g: &Etpn, trace: &Trace) -> CoverageReport {
         }
     }
     CoverageReport {
-        place_coverage: (visited, g.ctl.places().len()),
-        transition_coverage: (fired, g.ctl.transitions().len()),
+        place_coverage: (visited, live_places),
+        transition_coverage: (fired, live_trans),
         unvisited_places,
         unfired_transitions,
+        dead_places: dead_places.len(),
+        dead_transitions: dead_transitions.len(),
     }
 }
 
@@ -120,6 +150,30 @@ mod tests {
         assert_eq!(cov.unvisited_places.len(), 1);
         assert_eq!(cov.unvisited_places[0].1, "sn");
         assert!(cov.percentages().0 > 70.0);
+    }
+
+    #[test]
+    fn excluding_the_cold_branch_restores_full_coverage() {
+        let g = brancher();
+        let trace = Simulator::new(&g, ScriptedEnv::new().with_stream("x", [5]))
+            .run(50)
+            .unwrap();
+        let plain = coverage(&g, &trace);
+        assert!(!plain.is_complete());
+        let sn = g.ctl.place_by_name("sn").unwrap();
+        let tn: Vec<_> = g
+            .ctl
+            .transitions()
+            .iter()
+            .filter(|(_, tr)| tr.name == "tn" || tr.name == "tn2")
+            .map(|(t, _)| t)
+            .collect();
+        let excl = coverage_excluding(&g, &trace, &[sn], &tn);
+        assert!(excl.is_complete(), "{excl:?}");
+        assert_eq!(excl.percentages(), (100.0, 100.0));
+        assert_eq!(excl.dead_places, 1);
+        assert_eq!(excl.dead_transitions, 2);
+        assert_eq!(excl.place_coverage.1, plain.place_coverage.1 - 1);
     }
 
     #[test]

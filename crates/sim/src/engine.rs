@@ -32,7 +32,9 @@ use crate::fault::FaultPlan;
 use crate::fleet::{EvalCache, StepKey};
 use crate::policy::FiringPolicy;
 use crate::trace::{Termination, Trace};
+use etpn_core::bitset::BitSet;
 use etpn_core::{Etpn, ExternalEvent, Marking, Op, PlaceId, PortId, TransId, Value};
+use etpn_cov::CovDb;
 use etpn_obs as obs;
 use rand::rngs::SmallRng;
 use std::sync::Arc;
@@ -91,6 +93,18 @@ pub struct Simulator<'g, E: Environment> {
     events: Vec<ExternalEvent>,
     watch: Vec<PortId>,
     watched: Vec<Vec<Value>>,
+    watch_ctl: bool,
+    guard_ports: Vec<PortId>,
+    marking_rows: Vec<BitSet>,
+    guard_rows: Vec<BitSet>,
+    cov: Option<CovDb>,
+    /// Output ports not yet observed at both polarities, with a local
+    /// seen-mask (bit 0 = zero seen, bit 1 = non-zero seen). Fully-toggled
+    /// ports retire from the scan.
+    toggle_pending: Vec<(PortId, u8)>,
+    /// Per-transition guard-outcome mask (bit 0 = held back, bit 1 =
+    /// taken), so repeat outcomes skip the CovDb entirely.
+    guard_seen: Vec<u8>,
     fire_counts: Vec<u64>,
     exit_counts: Vec<u64>,
     metrics: SimMetrics,
@@ -119,6 +133,13 @@ impl<'g, E: Environment> Simulator<'g, E> {
             events: Vec::new(),
             watch: Vec::new(),
             watched: Vec::new(),
+            watch_ctl: false,
+            guard_ports: Vec::new(),
+            marking_rows: Vec::new(),
+            guard_rows: Vec::new(),
+            cov: None,
+            toggle_pending: Vec::new(),
+            guard_seen: Vec::new(),
             fire_counts: vec![0; g.ctl.transitions().capacity_bound()],
             exit_counts: vec![0; g.ctl.places().capacity_bound()],
             metrics: SimMetrics::new(),
@@ -143,6 +164,37 @@ impl<'g, E: Environment> Simulator<'g, E> {
             }
         }
         self.watch = ports;
+        self
+    }
+
+    /// Record the control plane at every step: the marking (one bit per
+    /// place) and the truth of every guard port, as [`Trace::marking_rows`]
+    /// and [`Trace::guard_rows`]. `sim::vcd` renders them as 1-bit wires.
+    pub fn watch_control(mut self) -> Self {
+        self.watch_ctl = true;
+        let mut ports: Vec<PortId> = Vec::new();
+        for (_, tr) in self.g.ctl.transitions().iter() {
+            ports.extend_from_slice(&tr.guards);
+        }
+        ports.sort_unstable();
+        ports.dedup();
+        self.guard_ports = ports;
+        self
+    }
+
+    /// Collect functional coverage (places, transitions, arc activations,
+    /// guard outcomes, port toggles) into a [`CovDb`] attached to the
+    /// resulting [`Trace`]. Off by default; the per-step cost when enabled
+    /// is a word-parallel arc union plus one value check per output port
+    /// not yet observed at both polarities.
+    pub fn with_coverage(mut self) -> Self {
+        let mut ports = Vec::new();
+        for (_, vx) in self.g.dp.vertices().iter() {
+            ports.extend_from_slice(&vx.outputs);
+        }
+        self.toggle_pending = ports.into_iter().map(|p| (p, 0u8)).collect();
+        self.guard_seen = vec![0; self.g.ctl.transitions().capacity_bound()];
+        self.cov = Some(CovDb::new(self.g));
         self
     }
 
@@ -326,6 +378,46 @@ impl<'g, E: Environment> Simulator<'g, E> {
             self.watched
                 .push(self.watch.iter().map(|&p| vals.value(p)).collect());
         }
+        if self.watch_ctl {
+            let mut row = BitSet::new(g.ctl.places().capacity_bound());
+            for s in self.marking.marked_places() {
+                row.insert(s.idx());
+            }
+            self.marking_rows.push(row);
+            let mut grow = BitSet::new(self.guard_ports.len());
+            for (k, &p) in self.guard_ports.iter().enumerate() {
+                if vals.value(p).is_true() {
+                    grow.insert(k);
+                }
+            }
+            self.guard_rows.push(grow);
+        }
+        if let Some(db) = &mut self.cov {
+            db.record_open_arcs(&vals.open_arcs);
+            // Steady-state fast path: a step that reveals nothing new
+            // costs one value load and a mask test per pending port — the
+            // CovDb is only touched on the first observation of each
+            // polarity, and fully-toggled ports retire from the scan.
+            let mut i = 0;
+            while i < self.toggle_pending.len() {
+                let (p, seen) = self.toggle_pending[i];
+                let v = vals.value(p);
+                let side: u8 = match v {
+                    Value::Def(0) => 1,
+                    Value::Def(_) => 2,
+                    Value::Undef => 0,
+                };
+                if side & !seen != 0 {
+                    db.record_toggle(p.idx(), v);
+                    if seen | side == 3 {
+                        self.toggle_pending.swap_remove(i);
+                        continue;
+                    }
+                    self.toggle_pending[i].1 = seen | side;
+                }
+                i += 1;
+            }
+        }
         let fired = {
             let _fire_span = obs::span("sim.fire");
             let (fired, exited) = self.fire(&vals)?;
@@ -382,6 +474,16 @@ impl<'g, E: Environment> Simulator<'g, E> {
         drop(run_span);
         // Deterministic event order: by (step, arc, place).
         self.events.sort_by_key(|e| (e.step, e.arc, e.place));
+        let mut cov = self.cov.take();
+        if let Some(db) = &mut cov {
+            db.absorb_run(
+                self.g,
+                &self.fire_counts,
+                &self.exit_counts,
+                self.step,
+                &self.marking,
+            );
+        }
         Ok(Trace {
             events: self.events,
             steps: self.step,
@@ -389,6 +491,10 @@ impl<'g, E: Environment> Simulator<'g, E> {
             termination,
             watch: self.watch,
             watched: self.watched,
+            marking_rows: self.marking_rows,
+            guard_ports: self.guard_ports,
+            guard_rows: self.guard_rows,
+            cov,
             fire_counts: self.fire_counts,
             exit_counts: self.exit_counts,
         })
@@ -402,12 +508,27 @@ impl<'g, E: Environment> Simulator<'g, E> {
             let guards = &g.ctl.transition(t).guards;
             guards.is_empty() || guards.iter().any(|&p| vals.value(p).is_true())
         };
-        let ready: Vec<TransId> = self
-            .marking
-            .enabled_transitions(&g.ctl)
-            .into_iter()
-            .filter(|&t| guard_true(t))
-            .collect();
+        let enabled = self.marking.enabled_transitions(&g.ctl);
+        let mut ready: Vec<TransId> = Vec::with_capacity(enabled.len());
+        for t in enabled {
+            let ok = guard_true(t);
+            if let Some(db) = &mut self.cov {
+                // Guard-outcome coverage: a token-enabled guarded
+                // transition observed with its guard disjunction true
+                // ("taken") or false ("held back") this step. The
+                // seen-mask makes repeat outcomes a byte test.
+                if !g.ctl.transition(t).guards.is_empty() {
+                    let bit: u8 = if ok { 2 } else { 1 };
+                    if self.guard_seen[t.idx()] & bit == 0 {
+                        self.guard_seen[t.idx()] |= bit;
+                        db.record_guard(t.idx(), ok);
+                    }
+                }
+            }
+            if ok {
+                ready.push(t);
+            }
+        }
         let order = self.policy.order(&ready, self.rng.as_mut());
         let mut fired = 0usize;
         let mut exited: Vec<PlaceId> = Vec::new();

@@ -158,6 +158,10 @@ mod tests {
             termination: crate::trace::Termination::Terminated,
             watch: Vec::new(),
             watched: Vec::new(),
+            marking_rows: Vec::new(),
+            guard_ports: Vec::new(),
+            guard_rows: Vec::new(),
+            cov: None,
             fire_counts: Vec::new(),
             exit_counts: Vec::new(),
         }

@@ -34,6 +34,7 @@ use crate::fleet::{Fleet, FleetStats, SimJob};
 use crate::trace::{Termination, Trace};
 use etpn_core::dot::{datapath_dot_heat, DataHeat};
 use etpn_core::{Etpn, EventStructure, Marking, PlaceId, PortId, Value};
+use etpn_cov::CovDb;
 use etpn_obs as obs;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -396,6 +397,12 @@ pub struct CampaignConfig {
     pub retries: u64,
     /// Per-job wall-clock budget; overruns classify as [`FaultClass::Hang`].
     pub wall_budget: Option<Duration>,
+    /// Collect functional coverage over the campaign: the golden run and
+    /// every faulty job record a [`CovDb`], merged into
+    /// [`CampaignReport::coverage`]. A campaign exercises the design under
+    /// every single-fault perturbation, so its merged coverage is a cheap
+    /// upper-bound probe of reachable-but-untested behaviour.
+    pub coverage: bool,
 }
 
 impl Default for CampaignConfig {
@@ -411,6 +418,7 @@ impl Default for CampaignConfig {
             workers: 0,
             retries: 1,
             wall_budget: None,
+            coverage: false,
         }
     }
 }
@@ -430,6 +438,9 @@ pub struct CampaignReport {
     pub golden_unchanged: bool,
     /// Fleet scheduling/cache/panic counters for the faulty batch.
     pub fleet: FleetStats,
+    /// Coverage merged over the golden run and every faulty job, when
+    /// [`CampaignConfig::coverage`] was set.
+    pub coverage: Option<CovDb>,
     planned: usize,
 }
 
@@ -568,7 +579,8 @@ where
 {
     let _span = obs::span("fault.campaign");
     let g = proto.design();
-    let golden_trace = proto.clone().run_uncached()?;
+    let instrument = |j: SimJob<'g, E>| if cfg.coverage { j.with_coverage() } else { j };
+    let golden_trace = instrument(proto.clone()).run_uncached()?;
     let golden_es = event_structure(g, &golden_trace);
 
     let mut faults = FaultPlan::sweep_data_ports(g, &cfg.kinds, cfg.transient_step);
@@ -580,7 +592,7 @@ where
     let jobs: Vec<SimJob<'g, E>> = faults
         .iter()
         .map(|&f| {
-            let mut j = proto.clone().with_faults(FaultPlan::single(f));
+            let mut j = instrument(proto.clone()).with_faults(FaultPlan::single(f));
             if let Some(b) = cfg.wall_budget {
                 j = j.wall_budget(b);
             }
@@ -609,12 +621,23 @@ where
     let golden_unchanged = golden_again.termination == golden_trace.termination
         && compare_structures(&golden_es, &event_structure(g, &golden_again)).is_equivalent();
 
+    // Campaign coverage: the golden DB merged with the faulty batch's.
+    let coverage = match (golden_trace.cov.clone(), batch.coverage) {
+        (Some(mut db), faulty) => {
+            if let Some(f) = &faulty {
+                let _ = db.merge(f);
+            }
+            Some(db)
+        }
+        (None, faulty) => faulty,
+    };
     let report = CampaignReport {
         outcomes,
         golden_termination: golden_trace.termination,
         golden_events: golden_trace.event_count(),
         golden_unchanged,
         fleet: batch.stats,
+        coverage,
         planned,
     };
     let reg = obs::global();

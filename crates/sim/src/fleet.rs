@@ -33,6 +33,7 @@ use crate::fault::FaultPlan;
 use crate::policy::FiringPolicy;
 use crate::trace::Trace;
 use etpn_core::{Etpn, Marking, Value};
+use etpn_cov::CovDb;
 use etpn_obs as obs;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
@@ -86,6 +87,7 @@ pub struct SimJob<'g, E: Environment = ScriptedEnv> {
     faults: Option<FaultPlan>,
     wall_budget: Option<Duration>,
     strict: bool,
+    coverage: bool,
 }
 
 impl<'g, E: Environment> SimJob<'g, E> {
@@ -103,6 +105,7 @@ impl<'g, E: Environment> SimJob<'g, E> {
             faults: None,
             wall_budget: None,
             strict: false,
+            coverage: false,
         }
     }
 
@@ -159,6 +162,14 @@ impl<'g, E: Environment> SimJob<'g, E> {
         self
     }
 
+    /// Collect functional coverage into the job's trace (see
+    /// [`Simulator::with_coverage`]); the fleet merges per-job DBs into
+    /// [`FleetBatch::coverage`] at join.
+    pub fn with_coverage(mut self) -> Self {
+        self.coverage = true;
+        self
+    }
+
     /// Build the configured simulator, optionally wired to a memo cache.
     fn into_sim(self, cache: Option<&Arc<EvalCache>>) -> Simulator<'g, E> {
         let mut sim = Simulator::new(self.g, self.env).with_policy(self.policy);
@@ -182,6 +193,9 @@ impl<'g, E: Environment> SimJob<'g, E> {
         }
         if self.strict {
             sim = sim.strict_inputs();
+        }
+        if self.coverage {
+            sim = sim.with_coverage();
         }
         sim
     }
@@ -481,8 +495,59 @@ pub struct FleetBatch {
     /// `results[i]` is the outcome of the `i`-th submitted job, whatever
     /// order the workers actually ran them in.
     pub results: Vec<Result<Trace, SimError>>,
+    /// Merged functional coverage over every successful job that carried a
+    /// [`CovDb`] (jobs built [`SimJob::with_coverage`]). Counters sum and
+    /// covered-sets union, so the merge is independent of worker count and
+    /// scheduling: the same seed set yields a bit-identical DB under any
+    /// `--jobs`. Jobs whose design fingerprint differs from the first
+    /// covered job are skipped (a batch may legally mix designs).
+    pub coverage: Option<CovDb>,
     /// Scheduling and cache counters for the batch.
     pub stats: FleetStats,
+}
+
+/// Configuration for [`Fleet::run_saturation`]: batch geometry and the
+/// stopping rule.
+#[derive(Clone, Copy, Debug)]
+pub struct SaturationConfig {
+    /// Seeds drawn per batch.
+    pub batch_size: u64,
+    /// Consecutive batches that must add *no* new coverage before the
+    /// sweep is declared saturated.
+    pub stable_batches: u32,
+    /// Hard cap on batches, so a design whose coverage keeps trickling in
+    /// cannot run unbounded.
+    pub max_batches: u32,
+}
+
+impl Default for SaturationConfig {
+    /// 8 seeds per batch, stop after 3 batches without new coverage,
+    /// give up after 64 batches.
+    fn default() -> Self {
+        Self {
+            batch_size: 8,
+            stable_batches: 3,
+            max_batches: 64,
+        }
+    }
+}
+
+/// What a coverage-saturation sweep found.
+#[derive(Clone, Debug)]
+pub struct SaturationOutcome {
+    /// Coverage merged over every batch (`None` only if no job succeeded).
+    pub coverage: Option<CovDb>,
+    /// Batches executed.
+    pub batches: u32,
+    /// Jobs executed (batches × batch size).
+    pub jobs: u64,
+    /// Jobs that ended in an error.
+    pub failures: u64,
+    /// True when the sweep stopped because coverage went stable, false
+    /// when it hit `max_batches` first.
+    pub saturated: bool,
+    /// Every seed drawn, in draw order (the reproducible seed set).
+    pub seeds_used: Vec<u64>,
 }
 
 /// A reusable batch-simulation engine: a worker count and a shared
@@ -668,7 +733,103 @@ impl Fleet {
             cache: self.cache.stats(),
         };
         stats.export(reg);
-        FleetBatch { results, stats }
+        // Merge per-job coverage in submission order. Summation and set
+        // union are associative and commutative, so the result is
+        // independent of which worker ran which job.
+        let mut coverage: Option<CovDb> = None;
+        for trace in results.iter().flatten() {
+            let Some(db) = &trace.cov else { continue };
+            match &mut coverage {
+                None => coverage = Some(db.clone()),
+                Some(acc) => {
+                    // A batch may mix designs; merge only matching ones.
+                    let _ = acc.merge(db);
+                }
+            }
+        }
+        if let Some(db) = &coverage {
+            db.export(reg);
+        }
+        FleetBatch {
+            results,
+            coverage,
+            stats,
+        }
+    }
+
+    /// Drive a design to **coverage saturation**: keep drawing seeds in
+    /// batches of [`SaturationConfig::batch_size`], merging each batch's
+    /// coverage, until [`SaturationConfig::stable_batches`] consecutive
+    /// batches add no new coverage (the merged DB's
+    /// [`CovDb::signature`] stops changing) or
+    /// [`SaturationConfig::max_batches`] is hit.
+    ///
+    /// `make_job` maps a seed to a job; coverage collection is forced on
+    /// regardless of how the job was built. Seeds are drawn sequentially
+    /// from 0, so the sweep — and its merged coverage — is reproducible.
+    pub fn run_saturation<'g, E, F>(
+        &self,
+        mut make_job: F,
+        cfg: SaturationConfig,
+    ) -> SaturationOutcome
+    where
+        E: Environment + Clone + Send,
+        F: FnMut(u64) -> SimJob<'g, E>,
+    {
+        let mut merged: Option<CovDb> = None;
+        let mut seeds_used = Vec::new();
+        let mut failures = 0u64;
+        let mut streak = 0u32;
+        let mut batches = 0u32;
+        let mut saturated = false;
+        let mut next_seed = 0u64;
+        while batches < cfg.max_batches {
+            let seeds: Vec<u64> = (0..cfg.batch_size.max(1))
+                .map(|_| {
+                    let s = next_seed;
+                    next_seed += 1;
+                    s
+                })
+                .collect();
+            let jobs: Vec<SimJob<'g, E>> = seeds
+                .iter()
+                .map(|&seed| make_job(seed).with_coverage())
+                .collect();
+            seeds_used.extend_from_slice(&seeds);
+            let batch = self.run_batch(jobs);
+            failures += batch.results.iter().filter(|r| r.is_err()).count() as u64;
+            batches += 1;
+            let before = merged.as_ref().map(CovDb::signature);
+            match (&mut merged, batch.coverage) {
+                (None, Some(db)) => merged = Some(db),
+                (Some(acc), Some(db)) => {
+                    let _ = acc.merge(&db);
+                }
+                (_, None) => {}
+            }
+            let after = merged.as_ref().map(CovDb::signature);
+            if before == after && before.is_some() {
+                streak += 1;
+                if streak >= cfg.stable_batches {
+                    saturated = true;
+                    break;
+                }
+            } else {
+                streak = 0;
+            }
+        }
+        let reg = obs::global();
+        reg.gauge("cov.saturation.batches").set(batches as i64);
+        reg.gauge("cov.saturation.saturated")
+            .set(i64::from(saturated));
+        SaturationOutcome {
+            coverage: merged,
+            jobs: seeds_used.len() as u64,
+            batches,
+            failures,
+            saturated,
+            seeds_used,
+        }
     }
 }
 

@@ -38,7 +38,7 @@ pub mod policy;
 pub mod trace;
 pub mod vcd;
 
-pub use coverage::{coverage, CoverageReport};
+pub use coverage::{coverage, coverage_excluding, CoverageReport};
 pub use determinism::{check_determinism, check_determinism_with, DeterminismReport};
 pub use engine::Simulator;
 pub use env::{Environment, FnEnv, ScriptedEnv};
@@ -52,6 +52,9 @@ pub use fault::{
     run_campaign, CampaignConfig, CampaignReport, Fault, FaultClass, FaultKind, FaultOutcome,
     FaultPlan, FaultSite, FaultWindow,
 };
-pub use fleet::{CacheStats, EvalCache, Fleet, FleetBatch, FleetStats, SimJob};
+pub use fleet::{
+    CacheStats, EvalCache, Fleet, FleetBatch, FleetStats, SaturationConfig, SaturationOutcome,
+    SimJob,
+};
 pub use policy::FiringPolicy;
 pub use trace::{Termination, Trace};

@@ -1,6 +1,8 @@
 //! Execution traces: the observable record of one run.
 
+use etpn_core::bitset::BitSet;
 use etpn_core::{ArcId, Etpn, ExternalEvent, PlaceId, PortId, TransId, Value};
+use etpn_cov::CovDb;
 
 /// Why a run stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,6 +52,18 @@ pub struct Trace {
     pub watch: Vec<PortId>,
     /// One value row per executed step, aligned with `watch`.
     pub watched: Vec<Vec<Value>>,
+    /// One marking snapshot (bit per place, raw-id indexed) per executed
+    /// step (see `Simulator::watch_control`). Empty unless requested.
+    pub marking_rows: Vec<BitSet>,
+    /// The guard ports sampled into `guard_rows`, deduplicated and in
+    /// raw-id order. Empty unless control watching was requested.
+    pub guard_ports: Vec<PortId>,
+    /// One guard-truth snapshot per executed step: bit `k` set iff
+    /// `guard_ports[k]` evaluated true that step.
+    pub guard_rows: Vec<BitSet>,
+    /// Functional coverage collected during the run (see
+    /// `Simulator::with_coverage`). `None` unless requested.
+    pub cov: Option<CovDb>,
     /// Firing count per transition (raw-id indexed).
     pub fire_counts: Vec<u64>,
     /// Activation (exit) count per control state (raw-id indexed).
@@ -147,6 +161,10 @@ mod tests {
             termination: Termination::Terminated,
             watch: Vec::new(),
             watched: Vec::new(),
+            marking_rows: Vec::new(),
+            guard_ports: Vec::new(),
+            guard_rows: Vec::new(),
+            cov: None,
             fire_counts: Vec::new(),
             exit_counts: Vec::new(),
         };

@@ -5,6 +5,13 @@
 //! then render the run as an IEEE-1364-style VCD file viewable in GTKWave
 //! & friends. One timestep per control step; values are 64-bit binary
 //! vectors, with `x` for the undefined value `⊥`.
+//!
+//! With [`Simulator::watch_control`](crate::Simulator::watch_control) the
+//! control plane rides along in a second `control` scope: one 1-bit
+//! `S_<place>` wire per control state (token present / absent) and one
+//! 1-bit `G_<vertex>` wire per guard port (guard truth). The `$date`
+//! header is a pure function of the design — no wall-clock — so rendered
+//! output is byte-stable and golden-file testable.
 
 use crate::trace::Trace;
 use etpn_core::{Etpn, Value};
@@ -24,15 +31,20 @@ fn code(i: usize) -> String {
     s
 }
 
-/// Render the watched ports of a trace as a VCD document.
+/// Render the watched ports (and, when captured, the control plane) of a
+/// trace as a VCD document.
 ///
-/// Returns `None` when the trace captured nothing.
+/// Returns `None` when the trace captured nothing at all.
 pub fn render(g: &Etpn, trace: &Trace) -> Option<String> {
-    if trace.watch.is_empty() || trace.watched.is_empty() {
+    let has_ports = !trace.watch.is_empty() && !trace.watched.is_empty();
+    let has_ctl = !trace.marking_rows.is_empty();
+    if !has_ports && !has_ctl {
         return None;
     }
     let mut out = String::new();
-    let _ = writeln!(out, "$date etpn-sim run $end");
+    // Deterministic header: a function of the design only, never the
+    // wall clock, so golden-file comparisons are byte-stable.
+    let _ = writeln!(out, "$date design {:#018x} $end", g.fingerprint());
     let _ = writeln!(out, "$version etpn-sim VCD export $end");
     let _ = writeln!(out, "$timescale 1 ns $end");
     let _ = writeln!(out, "$scope module design $end");
@@ -47,6 +59,43 @@ pub fn render(g: &Etpn, trace: &Trace) -> Option<String> {
         let _ = writeln!(out, "$var wire 64 {} {} $end", code(i), name);
     }
     let _ = writeln!(out, "$upscope $end");
+    // Control wires get codes *after* the port codes so adding control
+    // watching never renumbers existing port waveforms.
+    let base = trace.watch.len();
+    let places: Vec<usize> = if has_ctl {
+        g.ctl.places().ids().map(|s| s.idx()).collect()
+    } else {
+        Vec::new()
+    };
+    if has_ctl {
+        let _ = writeln!(out, "$scope module control $end");
+        for (k, &idx) in places.iter().enumerate() {
+            let name = g
+                .ctl
+                .places()
+                .ids()
+                .find(|s| s.idx() == idx)
+                .map(|s| g.ctl.place(s).name.clone())
+                .unwrap_or_else(|| format!("p{idx}"));
+            let _ = writeln!(out, "$var wire 1 {} S_{} $end", code(base + k), name);
+        }
+        for (k, &p) in trace.guard_ports.iter().enumerate() {
+            let port = g.dp.port(p);
+            let vx = g.dp.vertex(port.vertex);
+            let name = if vx.outputs.len() > 1 {
+                format!("{}_o{}", vx.name, port.index)
+            } else {
+                vx.name.clone()
+            };
+            let _ = writeln!(
+                out,
+                "$var wire 1 {} G_{} $end",
+                code(base + places.len() + k),
+                name
+            );
+        }
+        let _ = writeln!(out, "$upscope $end");
+    }
     let _ = writeln!(out, "$enddefinitions $end");
 
     let fmt = |v: Value| -> String {
@@ -55,21 +104,44 @@ pub fn render(g: &Etpn, trace: &Trace) -> Option<String> {
             Value::Undef => "bx".to_string(),
         }
     };
+    let steps = trace.watched.len().max(trace.marking_rows.len());
     let mut last: Vec<Option<Value>> = vec![None; trace.watch.len()];
-    for (step, row) in trace.watched.iter().enumerate() {
+    let mut last_bits: Vec<Option<bool>> = vec![None; places.len() + trace.guard_ports.len()];
+    for step in 0..steps {
         let mut emitted_time = false;
-        for (i, &v) in row.iter().enumerate() {
-            if last[i] != Some(v) {
-                if !emitted_time {
-                    let _ = writeln!(out, "#{step}");
-                    emitted_time = true;
+        let mut time = |out: &mut String| {
+            if !emitted_time {
+                let _ = writeln!(out, "#{step}");
+                emitted_time = true;
+            }
+        };
+        if let Some(row) = trace.watched.get(step) {
+            for (i, &v) in row.iter().enumerate() {
+                if last[i] != Some(v) {
+                    time(&mut out);
+                    let _ = writeln!(out, "{} {}", fmt(v), code(i));
+                    last[i] = Some(v);
                 }
-                let _ = writeln!(out, "{} {}", fmt(v), code(i));
-                last[i] = Some(v);
+            }
+        }
+        if let Some(marks) = trace.marking_rows.get(step) {
+            let grow = trace.guard_rows.get(step);
+            for (k, bit) in places
+                .iter()
+                .map(|&idx| marks.contains(idx))
+                .chain((0..trace.guard_ports.len()).map(|k| grow.is_some_and(|r| r.contains(k))))
+                .enumerate()
+            {
+                if last_bits[k] != Some(bit) {
+                    time(&mut out);
+                    // Scalar change: no space between value and code.
+                    let _ = writeln!(out, "{}{}", u8::from(bit), code(base + k));
+                    last_bits[k] = Some(bit);
+                }
             }
         }
     }
-    let _ = writeln!(out, "#{}", trace.watched.len());
+    let _ = writeln!(out, "#{steps}");
     Some(out)
 }
 
@@ -133,6 +205,53 @@ mod tests {
             .unwrap();
         let vcd = render(&g, &trace).unwrap();
         assert!(vcd.contains("bx"), "{vcd}");
+    }
+
+    #[test]
+    fn control_wires_ride_along_without_renumbering_ports() {
+        let g = counter();
+        let trace = Simulator::new(&g, ScriptedEnv::new())
+            .init_register("r", 0)
+            .watch_registers()
+            .watch_control()
+            .run(3)
+            .unwrap();
+        let vcd = render(&g, &trace).unwrap();
+        // Port code unchanged by the extra scope.
+        assert!(vcd.contains("$var wire 64 ! r $end"), "{vcd}");
+        assert!(vcd.contains("$scope module control $end"), "{vcd}");
+        assert!(vcd.contains("$var wire 1 \" S_s0 $end"), "{vcd}");
+        // s0 holds a token throughout: exactly one scalar change, to 1.
+        assert_eq!(vcd.matches("\n1\"").count(), 1, "{vcd}");
+        assert_eq!(vcd.matches("\n0\"").count(), 0, "{vcd}");
+    }
+
+    #[test]
+    fn control_only_trace_still_renders() {
+        let g = counter();
+        let trace = Simulator::new(&g, ScriptedEnv::new())
+            .watch_control()
+            .run(2)
+            .unwrap();
+        let vcd = render(&g, &trace).unwrap();
+        assert!(!vcd.contains("wire 64"), "{vcd}");
+        assert!(vcd.contains("S_s0"), "{vcd}");
+        assert!(vcd.ends_with("#2\n"), "{vcd}");
+    }
+
+    #[test]
+    fn date_header_is_deterministic() {
+        let g = counter();
+        let mk = || {
+            let t = Simulator::new(&g, ScriptedEnv::new())
+                .init_register("r", 0)
+                .watch_registers()
+                .run(4)
+                .unwrap();
+            render(&g, &t).unwrap()
+        };
+        assert_eq!(mk(), mk());
+        assert!(mk().starts_with("$date design 0x"), "{}", mk());
     }
 
     #[test]

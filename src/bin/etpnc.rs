@@ -6,6 +6,7 @@
 //! etpnc run    <design.hdl> --set x=1,2 [...]    # simulate on the model
 //! etpnc interp <design.hdl> --set x=1,2 [...]    # reference interpreter
 //! etpnc fault  <design.hdl> --set x=1,2 [...]    # fault-injection campaign
+//! etpnc cov    <design.hdl> --set x=1,2 [...]    # drive to coverage saturation
 //! etpnc dot    <design.hdl>                      # graphviz to stdout
 //!
 //! check options:
@@ -28,7 +29,9 @@
 //!   --set NAME=v1,v2,…                        (input stream, repeatable)
 //!   --steps N                                 (budget, default 100000)
 //!   --vcd FILE                                (dump register waveforms)
-//!   --coverage                                (state/transition coverage)
+//!   --cov                                     (collect functional coverage and
+//!                                              print the full report;
+//!                                              --coverage is an alias)
 //!   --jobs N                                  (batch a policy battery over N
 //!                                              fleet workers, report cache
 //!                                              stats and policy invariance)
@@ -46,6 +49,24 @@
 //!   --dot FILE                                (write the silent-corruption
 //!                                              vulnerability map as a heat
 //!                                              DOT of the data path)
+//!   --cov                                     (merge functional coverage over
+//!                                              the golden run and every
+//!                                              faulty job)
+//! cov options (plus --set/--steps/--strict as for run):
+//!   --jobs N                                  (fleet workers, default all CPUs)
+//!   --batch K                                 (seeds per batch, default 8)
+//!   --stable K                                (stop after K batches with no
+//!                                              new coverage, default 3)
+//!   --max-batches N                           (hard cap, default 64)
+//!   --json FILE                               (write the report as JSON)
+//!   --lcov FILE                               (write an lcov-style tracefile
+//!                                              mapped onto the .hdl source)
+//!   --dot FILE                                (coverage-annotated control-net
+//!                                              heat overlay)
+//!   --fail-under PCT                          (exit 6 unless place AND
+//!                                              transition coverage ≥ PCT;
+//!                                              statically-dead items are
+//!                                              excluded from denominators)
 //! dot options:
 //!   --heat                                    (simulate with the --set
 //!                                              streams and colour the control
@@ -65,6 +86,7 @@
 //!   3   simulation hit the step limit
 //!   4   deadlock: no transition is token-enabled but tokens remain
 //!   5   wall-clock budget exhausted
+//!   6   coverage below the --fail-under gate
 //! ```
 
 use etpn::analysis::proper::check_properly_designed;
@@ -87,11 +109,14 @@ const EXIT_STEP_LIMIT: u8 = 3;
 const EXIT_DEADLOCK: u8 = 4;
 /// Exit code for a run cut short by the `--wall-ms` wall-clock budget.
 const EXIT_BUDGET: u8 = 5;
+/// Exit code for `cov --fail-under`: the design simulated fine but place
+/// or transition coverage stayed below the gate.
+const EXIT_COVERAGE: u8 = 6;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: etpnc <check|build|run|interp|fault|dot> <design.hdl> [options]");
+        eprintln!("usage: etpnc <check|build|run|interp|fault|cov|dot> <design.hdl> [options]");
         return ExitCode::FAILURE;
     };
     let profile_path = flag_value(rest, "--profile").map(str::to_string);
@@ -107,6 +132,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest, false),
         "interp" => cmd_run(rest, true),
         "fault" => cmd_fault(rest),
+        "cov" => cmd_cov(rest),
         "dot" => cmd_dot(rest),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -427,7 +453,11 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<ExitCode, String> {
     }
     let vcd_path = flag_value(args, "--vcd");
     if vcd_path.is_some() {
-        sim = sim.watch_registers();
+        sim = sim.watch_registers().watch_control();
+    }
+    let want_cov = want_coverage(args);
+    if want_cov {
+        sim = sim.with_coverage();
     }
     let trace = sim.run(steps).map_err(|e| e.describe(&d.etpn))?;
     if let Some(path) = vcd_path {
@@ -435,15 +465,24 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<ExitCode, String> {
         std::fs::write(path, vcd).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
-    if args.iter().any(|a| a == "--coverage") {
-        let cov = etpn::sim::coverage(&d.etpn, &trace);
+    if want_cov {
+        // Statically-dead elements come out of the denominators: a hole in
+        // this report is a genuine testing gap, never dead code.
+        let (dead_p, dead_t) = etpn::lint::statically_dead(&d.etpn.ctl);
+        let cov = etpn::sim::coverage_excluding(&d.etpn, &trace, &dead_p, &dead_t);
         let (ps, ts) = cov.percentages();
-        println!("coverage: {ps:.0}% states, {ts:.0}% transitions");
+        println!(
+            "coverage: {ps:.0}% states, {ts:.0}% transitions ({} dead excluded)",
+            cov.dead_places + cov.dead_transitions
+        );
         for (_, name) in &cov.unvisited_places {
             println!("  never activated: {name}");
         }
         for (_, name) in &cov.unfired_transitions {
             println!("  never fired:     {name}");
+        }
+        if let Some(db) = &trace.cov {
+            print!("{}", full_report(&d.etpn, db, &dead_p, &dead_t).text());
         }
     }
     let code = report_termination(&trace, steps);
@@ -476,6 +515,7 @@ fn run_fleet_battery(
         policies.push(FiringPolicy::RandomMaximal { seed });
         policies.push(FiringPolicy::SingleRandom { seed });
     }
+    let want_cov = want_coverage(args);
     let jobs: Vec<SimJob> = policies
         .iter()
         .map(|&policy| {
@@ -484,6 +524,9 @@ fn run_fleet_battery(
                 .max_steps(steps);
             for (name, v) in &d.reg_inits {
                 job = job.init_register(name, *v);
+            }
+            if want_cov {
+                job = job.with_coverage();
             }
             job
         })
@@ -518,10 +561,11 @@ fn run_fleet_battery(
         stats.cache.hit_rate() * 100.0,
         stats.cache.evictions,
     );
-    if args.iter().any(|a| a == "--coverage") {
-        let cov = etpn::sim::coverage(&d.etpn, &reference);
-        let (ps, ts) = cov.percentages();
-        println!("coverage: {ps:.0}% states, {ts:.0}% transitions");
+    if want_cov {
+        if let Some(db) = &batch.coverage {
+            let (dead_p, dead_t) = etpn::lint::statically_dead(&d.etpn.ctl);
+            print!("{}", full_report(&d.etpn, db, &dead_p, &dead_t).text());
+        }
     }
     let code = report_termination(&reference, steps);
     for v in d.etpn.dp.output_vertices() {
@@ -610,9 +654,14 @@ fn cmd_fault(args: &[String]) -> Result<ExitCode, String> {
             .transpose()?
             .unwrap_or(1),
         wall_budget: wall_budget(args)?,
+        coverage: want_coverage(args),
     };
     let report = run_campaign(&proto, &cfg).map_err(|e| e.describe(&d.etpn))?;
     print!("{}", report.summary(&d.etpn));
+    if let Some(db) = &report.coverage {
+        let (dead_p, dead_t) = etpn::lint::statically_dead(&d.etpn.ctl);
+        print!("{}", full_report(&d.etpn, db, &dead_p, &dead_t).text());
+    }
     if let Some(path) = flag_value(args, "--dot") {
         std::fs::write(path, report.vulnerability_dot(&d.etpn))
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -624,6 +673,159 @@ fn cmd_fault(args: &[String]) -> Result<ExitCode, String> {
     if !report.golden_unchanged {
         return Err(
             "campaign corrupted the golden run — injection leaked into the clean path".into(),
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `--cov` requests functional coverage; `--coverage` is the historical
+/// alias from when `run` only knew place/transition hit counts.
+fn want_coverage(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--cov" || a == "--coverage")
+}
+
+/// The five-dimension coverage report with `etpn-lint`'s statically-dead
+/// fixpoint already folded out of the denominators.
+fn full_report(
+    g: &etpn::core::Etpn,
+    db: &etpn::cov::CovDb,
+    dead_p: &[etpn::core::PlaceId],
+    dead_t: &[etpn::core::TransId],
+) -> etpn::cov::CovReport {
+    let dead = etpn::cov::StaticDead::from_ids(g, dead_p, dead_t);
+    etpn::cov::report(g, db, &dead)
+}
+
+/// `etpnc cov`: drive the design to **coverage saturation** — keep drawing
+/// policy seeds in batches until consecutive batches stop adding coverage —
+/// then report, optionally gate (`--fail-under`, exit 6), and export
+/// JSON / lcov / DOT renderings.
+fn cmd_cov(args: &[String]) -> Result<ExitCode, String> {
+    use etpn::sim::{FiringPolicy, Fleet, SaturationConfig, SimJob};
+
+    let _span = obs::span("cov.cmd");
+    let (_, src) = read_source(args)?;
+    let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
+    let streams = parse_streams(args)?;
+    let steps: u64 = flag_value(args, "--steps")
+        .map(|v| v.parse().map_err(|e| format!("--steps: {e}")))
+        .transpose()?
+        .unwrap_or(100_000);
+    let mut env = ScriptedEnv::new();
+    for (name, values) in &streams {
+        env = env.with_stream(name, values.iter().copied());
+    }
+    let workers: usize = flag_value(args, "--jobs")
+        .map(|v| v.parse().map_err(|e| format!("--jobs: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let mut cfg = SaturationConfig::default();
+    if let Some(v) = flag_value(args, "--batch") {
+        cfg.batch_size = v.parse().map_err(|e| format!("--batch: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--stable") {
+        cfg.stable_batches = v.parse().map_err(|e| format!("--stable: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--max-batches") {
+        cfg.max_batches = v.parse().map_err(|e| format!("--max-batches: {e}"))?;
+    }
+    let strict = args.iter().any(|a| a == "--strict");
+
+    let fleet = Fleet::new(workers);
+    let outcome = fleet.run_saturation(
+        |seed| {
+            // Seed 0 is the deterministic reference; odd/even seeds then
+            // alternate the two randomized policies so the sweep explores
+            // both maximal-step and interleaved schedules.
+            let policy = match seed {
+                0 => FiringPolicy::MaximalStep,
+                s if s % 2 == 1 => FiringPolicy::RandomMaximal { seed: s },
+                s => FiringPolicy::SingleRandom { seed: s },
+            };
+            let mut job = SimJob::new(&d.etpn, env.clone())
+                .with_policy(policy)
+                .max_steps(steps);
+            for (name, v) in &d.reg_inits {
+                job = job.init_register(name, *v);
+            }
+            if strict {
+                job = job.strict_inputs();
+            }
+            job
+        },
+        cfg,
+    );
+    println!(
+        "saturation: {} batches × {} seeds = {} jobs, {} failures — {}",
+        outcome.batches,
+        cfg.batch_size,
+        outcome.jobs,
+        outcome.failures,
+        if outcome.saturated {
+            format!("saturated after {} stable batches", cfg.stable_batches)
+        } else {
+            "NOT saturated (hit --max-batches)".to_string()
+        }
+    );
+    let Some(db) = &outcome.coverage else {
+        return Err("every job failed; no coverage collected".into());
+    };
+    let (dead_p, dead_t) = etpn::lint::statically_dead(&d.etpn.ctl);
+    let rep = full_report(&d.etpn, db, &dead_p, &dead_t);
+    print!("{}", rep.text());
+
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, rep.json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--lcov") {
+        let dead = etpn::cov::StaticDead::from_ids(&d.etpn, &dead_p, &dead_t);
+        let design_path = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .map_or("design.hdl", String::as_str);
+        let line_of_place = |sp: etpn::core::PlaceId| {
+            let span = d.src_map.place_span(sp);
+            (!span.is_dummy()).then(|| etpn::lang::span::line_col(&src, span.start).0)
+        };
+        let line_of_trans = |t: etpn::core::TransId| {
+            let span = d.src_map.trans_span(t);
+            (!span.is_dummy()).then(|| etpn::lang::span::line_col(&src, span.start).0)
+        };
+        let text = etpn::cov::lcov(
+            &d.etpn,
+            db,
+            &dead,
+            design_path,
+            &line_of_place,
+            &line_of_trans,
+        );
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--dot") {
+        let heat = dot::ControlHeat {
+            exit_counts: &db.place_exits,
+            fire_counts: &db.trans_fired,
+        };
+        std::fs::write(path, dot::control_dot_heat(&d.etpn, &heat))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} (coverage heat overlay)");
+    }
+    if let Some(pct) = flag_value(args, "--fail-under") {
+        let pct: f64 = pct.parse().map_err(|e| format!("--fail-under: {e}"))?;
+        if !rep.meets(pct) {
+            eprintln!(
+                "etpnc: coverage gate failed (exit {EXIT_COVERAGE}): places {:.1}%, transitions {:.1}% < {pct}%",
+                rep.places.pct(),
+                rep.transitions.pct()
+            );
+            return Ok(ExitCode::from(EXIT_COVERAGE));
+        }
+        println!(
+            "coverage gate passed: places {:.1}%, transitions {:.1}% ≥ {pct}%",
+            rep.places.pct(),
+            rep.transitions.pct()
         );
     }
     Ok(ExitCode::SUCCESS)

@@ -73,9 +73,11 @@
 //! | [`workloads`] | `etpn-workloads` | diffeq, EWF, FIR16, GCD, AR lattice, IIR, α–β, isqrt, random nets |
 //! | [`lint`] | `etpn-lint` | whole-design static verifier: diagnostics, dead-code/race lints, SARIF |
 //! | [`obs`] | `etpn-obs` | spans, counters, Chrome-trace/stats exporters |
+//! | [`cov`] | `etpn-cov` | functional coverage: mergeable DBs, saturation, gated reports |
 
 pub use etpn_analysis as analysis;
 pub use etpn_core as core;
+pub use etpn_cov as cov;
 pub use etpn_lang as lang;
 pub use etpn_lint as lint;
 pub use etpn_obs as obs;
