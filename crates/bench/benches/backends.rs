@@ -1,0 +1,53 @@
+//! Criterion benches for the E9c step-engine comparison: the interpreter,
+//! the event-driven compiled engine, and the compiled-no-dirty ablation,
+//! on sustained stepping over cyclic random nets. The `experiments` binary
+//! (`--quick E9C`) produces the same comparison as a steps/s table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etpn_core::Etpn;
+use etpn_sim::{Backend, ScriptedEnv, Simulator};
+use etpn_workloads::random_net;
+
+/// A cyclic random net of `n` places (the E9 sustained-stepping shape:
+/// the terminal transition feeds the initial place back).
+fn cyclic(n: usize) -> Etpn {
+    let mut g = random_net(23, n);
+    let t_end = g
+        .ctl
+        .transitions()
+        .iter()
+        .find(|(_, tr)| tr.post.is_empty())
+        .map(|(t, _)| t)
+        .unwrap();
+    let first = g.ctl.initial_places()[0];
+    g.ctl.flow_ts(t_end, first).unwrap();
+    g
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9c_backends");
+    for &n in &[32usize, 256] {
+        let g = cyclic(n);
+        // Warm the global compile cache so timed iterations measure
+        // stepping, not compilation.
+        let _ = etpn_sim::get_or_compile(&g);
+        for (backend, label) in [
+            (Backend::Interp, "interp"),
+            (Backend::Compiled, "compiled"),
+            (Backend::CompiledNoDirty, "compiled-nodirty"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+                b.iter(|| {
+                    Simulator::new(g, ScriptedEnv::new())
+                        .with_backend(backend)
+                        .run(1_000)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

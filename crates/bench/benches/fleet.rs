@@ -3,7 +3,7 @@
 //! workers) against the plain sequential loop over the same jobs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use etpn_sim::{FiringPolicy, Fleet, SimJob};
+use etpn_sim::{Backend, FiringPolicy, Fleet, SimJob};
 use etpn_synth::CompiledDesign;
 use etpn_workloads::{catalog, Workload};
 
@@ -18,7 +18,10 @@ fn battery(designs: &[(Workload, CompiledDesign)]) -> Vec<SimJob<'_>> {
             policies.push(FiringPolicy::SingleRandom { seed });
         }
         for policy in policies {
+            // Interpreter jobs: this bench measures the shared memo cache
+            // (the compiled engines are compared in benches/backends.rs).
             let mut job = SimJob::new(&d.etpn, w.env())
+                .backend(Backend::Interp)
                 .with_policy(policy)
                 .max_steps(w.max_steps);
             for (n, v) in &d.reg_inits {

@@ -50,6 +50,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e8_ablation::run(scale),
         e9_throughput::run(scale),
         e9_throughput::run_fleet(scale),
+        e9_throughput::run_backends(scale),
         e10_determinism::run(scale),
         e11_obs::run(scale),
         e12_fault::run(scale),
@@ -70,6 +71,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "E8" => e8_ablation::run(scale),
         "E9" => e9_throughput::run(scale),
         "E9B" => e9_throughput::run_fleet(scale),
+        "E9C" => e9_throughput::run_backends(scale),
         "E10" => e10_determinism::run(scale),
         "E11" => e11_obs::run(scale),
         "E12" => e12_fault::run(scale),

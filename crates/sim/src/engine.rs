@@ -25,6 +25,7 @@
 //! ([`Termination::Quiescent`]) — or when the step budget is exhausted
 //! ([`Termination::StepLimit`]).
 
+use crate::compiled::{self, Backend, CompiledState};
 use crate::env::{Environment, InputCursors};
 use crate::error::SimError;
 use crate::eval::{DpState, Evaluator, StepValues};
@@ -57,6 +58,8 @@ struct SimMetrics {
     cache_hits: obs::Counter,
     cache_misses: obs::Counter,
     step_ns: obs::Histogram,
+    events_fired: obs::Counter,
+    dirty_frac: obs::Histogram,
 }
 
 impl SimMetrics {
@@ -69,6 +72,8 @@ impl SimMetrics {
             cache_hits: reg.counter("sim.cache.hits"),
             cache_misses: reg.counter("sim.cache.misses"),
             step_ns: reg.histogram("sim.step.ns"),
+            events_fired: reg.counter("sim.events.fired"),
+            dirty_frac: reg.histogram("sim.dirty.frac"),
         }
     }
 }
@@ -83,6 +88,7 @@ pub struct Simulator<'g, E: Environment> {
     cursors: InputCursors,
     evaluator: Evaluator,
     marking: Marking,
+    compiled: Option<CompiledState>,
     cache: Option<CacheHandle>,
     rng: Option<SmallRng>,
     faults: Option<FaultPlan>,
@@ -123,6 +129,7 @@ impl<'g, E: Environment> Simulator<'g, E> {
             cursors: InputCursors::new(g),
             evaluator: Evaluator::new(g),
             marking: Marking::initial(&g.ctl),
+            compiled: None,
             cache: None,
             rng: None,
             faults: None,
@@ -144,6 +151,42 @@ impl<'g, E: Environment> Simulator<'g, E> {
             exit_counts: vec![0; g.ctl.places().capacity_bound()],
             metrics: SimMetrics::new(),
         }
+    }
+
+    /// Run on the chosen step engine (see [`Backend`]). Switching backends
+    /// never changes observable behaviour — the differential battery in
+    /// `tests/backend_differential.rs` holds them bit-identical.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.compiled = match backend {
+            Backend::Interp => None,
+            Backend::Compiled => Some(CompiledState::new(compiled::get_or_compile(self.g))),
+            Backend::CompiledNoDirty => {
+                let mut cs = CompiledState::new(compiled::get_or_compile(self.g));
+                cs.no_dirty = true;
+                Some(cs)
+            }
+        };
+        self
+    }
+
+    /// Run on the compiled event-driven backend
+    /// (`self.with_backend(Backend::Compiled)`).
+    pub fn compiled(self) -> Self {
+        self.with_backend(Backend::Compiled)
+    }
+
+    /// The compiled backend with every incremental step cross-checked
+    /// against a fresh full evaluation (panics on any divergence). This is
+    /// the executable form of the dirty-set soundness invariant — a port
+    /// skipped by the dirty set must have unchanged inputs, hence an
+    /// unchanged value — used by the property-test suite. Far slower than
+    /// either plain backend; debugging/testing only.
+    pub fn compiled_verified(mut self) -> Self {
+        self = self.with_backend(Backend::Compiled);
+        if let Some(cs) = &mut self.compiled {
+            cs.verify = true;
+        }
+        self
     }
 
     /// Record the value of the given ports at every step (waveform capture
@@ -302,7 +345,13 @@ impl<'g, E: Environment> Simulator<'g, E> {
         if let Some(plan) = &self.faults {
             // Control faults strike before evaluation, so the evaluation
             // itself remains a pure function of the (perturbed) marking.
-            plan.apply_control(&mut self.marking, self.step);
+            // They also mutate the marking behind the compiled backend's
+            // incremental mirrors, so any hit forces a full resync.
+            if plan.apply_control(&mut self.marking, self.step) {
+                if let Some(cs) = &mut self.compiled {
+                    cs.resync = true;
+                }
+            }
             if self.marking.is_terminated() {
                 return Ok(None);
             }
@@ -322,8 +371,10 @@ impl<'g, E: Environment> Simulator<'g, E> {
             let cursors = &self.cursors;
             // Steps with an active data fault bypass the cache entirely:
             // forced values are not a pure function of the configuration.
-            let key = match (&self.cache, forced) {
-                (Some(h), false) => Some(StepKey {
+            // The compiled backend bypasses it too: its persistent values
+            // make a memo lookup pure overhead.
+            let key = match (&self.cache, forced, &self.compiled) {
+                (Some(h), false, None) => Some(StepKey {
                     design: h.design_fp,
                     env: h.env_fp,
                     marking: self.marking.stable_hash64(),
@@ -348,23 +399,102 @@ impl<'g, E: Environment> Simulator<'g, E> {
                     self.metrics.evals.inc();
                     let step_no = self.step;
                     let input = |v| env.value_at(v, &g.dp.vertex(v).name, cursors.position(v));
-                    let fresh = Arc::new(match self.faults.as_ref().filter(|_| forced) {
-                        Some(plan) => {
-                            let mut force = |p: PortId, v: Value| plan.force_value(p, v, step_no);
-                            self.evaluator.step_forced(
+                    let fresh: Arc<StepValues> = if let Some(cs) = &mut self.compiled {
+                        if cs.needs_full(forced) {
+                            // Conservative path: first step, fault-mutated
+                            // marking, forced values, or a statically cyclic
+                            // port graph — delegate to the interpreter walk
+                            // and rebuild every incremental mirror from it.
+                            let walked = match self.faults.as_ref().filter(|_| forced) {
+                                Some(plan) => {
+                                    let mut force =
+                                        |p: PortId, v: Value| plan.force_value(p, v, step_no);
+                                    self.evaluator.step_forced(
+                                        g,
+                                        &self.marking,
+                                        &self.state,
+                                        step_no,
+                                        input,
+                                        Some(&mut force),
+                                    )?
+                                }
+                                None => self.evaluator.step(
+                                    g,
+                                    &self.marking,
+                                    &self.state,
+                                    step_no,
+                                    input,
+                                )?,
+                            };
+                            cs.resync_full(g, &self.marking, walked);
+                            // A forced walk leaves forced values behind: the
+                            // next step must walk again to restore the pure
+                            // values before incremental stepping resumes.
+                            cs.resync = forced;
+                            let n = cs.cd.port_count() as u64;
+                            self.metrics.events_fired.add(n);
+                            if obs::stats_enabled() || obs::trace_enabled() {
+                                self.metrics.dirty_frac.record(1000);
+                            }
+                            cs.values()
+                        } else {
+                            cs.check_conflict(step_no)?;
+                            let fired = if cs.no_dirty {
+                                cs.recompute_all(&self.state, input)
+                            } else {
+                                cs.propagate(&self.state, input)
+                            };
+                            self.metrics.events_fired.add(fired);
+                            if obs::stats_enabled() || obs::trace_enabled() {
+                                let n = cs.cd.port_count() as u64;
+                                if let Some(frac) = (fired * 1000).checked_div(n) {
+                                    self.metrics.dirty_frac.record(frac);
+                                }
+                            }
+                            if cs.verify {
+                                let walked = self.evaluator.step(
+                                    g,
+                                    &self.marking,
+                                    &self.state,
+                                    step_no,
+                                    input,
+                                )?;
+                                let vals = cs.values();
+                                assert_eq!(
+                                    walked.open_arcs, vals.open_arcs,
+                                    "compiled backend: open-arc mirror diverged at step {step_no}"
+                                );
+                                assert_eq!(
+                                    walked.port_values, vals.port_values,
+                                    "dirty-set soundness violated at step {step_no}: a skipped \
+                                     port's value differs from a full evaluation"
+                                );
+                            }
+                            cs.values()
+                        }
+                    } else {
+                        Arc::new(match self.faults.as_ref().filter(|_| forced) {
+                            Some(plan) => {
+                                let mut force =
+                                    |p: PortId, v: Value| plan.force_value(p, v, step_no);
+                                self.evaluator.step_forced(
+                                    g,
+                                    &self.marking,
+                                    &self.state,
+                                    step_no,
+                                    input,
+                                    Some(&mut force),
+                                )?
+                            }
+                            None => self.evaluator.step(
                                 g,
                                 &self.marking,
                                 &self.state,
                                 step_no,
                                 input,
-                                Some(&mut force),
-                            )?
-                        }
-                        None => {
-                            self.evaluator
-                                .step(g, &self.marking, &self.state, step_no, input)?
-                        }
-                    });
+                            )?,
+                        })
+                    };
                     if let (Some(h), Some(k)) = (&self.cache, key) {
                         h.cache
                             .insert(k, &self.marking, &self.state, cursors, Arc::clone(&fresh));
@@ -425,6 +555,15 @@ impl<'g, E: Environment> Simulator<'g, E> {
                 self.exit_counts[s.idx()] += 1;
             }
             self.commit_exits(&exited, &vals)?;
+            if let Some(cs) = &mut self.compiled {
+                if cs.resync || cs.cd.is_fallback() {
+                    // The next step rebuilds everything from a full walk
+                    // anyway; pending incremental bookkeeping is moot.
+                    cs.touched.clear();
+                } else {
+                    cs.sync_after_commit(g, &self.marking, &self.state, &exited);
+                }
+            }
             fired
         };
 
@@ -508,7 +647,14 @@ impl<'g, E: Environment> Simulator<'g, E> {
             let guards = &g.ctl.transition(t).guards;
             guards.is_empty() || guards.iter().any(|&p| vals.value(p).is_true())
         };
-        let enabled = self.marking.enabled_transitions(&g.ctl);
+        // The compiled backend maintains token-enabledness incrementally;
+        // the mirror was rebuilt or resynchronised no later than this
+        // step's evaluation, so it matches `enabled_transitions` exactly
+        // (both in increasing id order).
+        let enabled = match &self.compiled {
+            Some(cs) => cs.enabled_vec(),
+            None => self.marking.enabled_transitions(&g.ctl),
+        };
         let mut ready: Vec<TransId> = Vec::with_capacity(enabled.len());
         for t in enabled {
             let ok = guard_true(t);
@@ -536,7 +682,14 @@ impl<'g, E: Environment> Simulator<'g, E> {
             if self.marking.enabled(&g.ctl, t) {
                 self.marking.fire(&g.ctl, t);
                 self.fire_counts[t.idx()] += 1;
-                exited.extend_from_slice(&g.ctl.transition(t).pre);
+                let tr = g.ctl.transition(t);
+                if let Some(cs) = &mut self.compiled {
+                    // Every place whose token count may have moved; folded
+                    // into the mirrors after commit.
+                    cs.touched.extend(tr.pre.iter().map(|s| s.0));
+                    cs.touched.extend(tr.post.iter().map(|s| s.0));
+                }
+                exited.extend_from_slice(&tr.pre);
                 fired += 1;
             }
         }

@@ -116,12 +116,19 @@ pub fn observational_sweep<E>(
 where
     E: crate::env::Environment + Clone + Send,
 {
+    // Interpreter jobs on purpose: the memo cache is the sweep's sharing
+    // mechanism, and only the interpreter consults it (the compiled
+    // backend carries its own persistent incremental values instead).
     let jobs: Vec<crate::fleet::SimJob<E>> = envs
         .iter()
         .flat_map(|env| {
             [
-                crate::fleet::SimJob::new(g1, env.clone()).max_steps(max_steps),
-                crate::fleet::SimJob::new(g2, env.clone()).max_steps(max_steps),
+                crate::fleet::SimJob::new(g1, env.clone())
+                    .backend(crate::compiled::Backend::Interp)
+                    .max_steps(max_steps),
+                crate::fleet::SimJob::new(g2, env.clone())
+                    .backend(crate::compiled::Backend::Interp)
+                    .max_steps(max_steps),
             ]
         })
         .collect();

@@ -235,7 +235,13 @@ impl FaultPlan {
     /// (there is nothing to lose or duplicate otherwise). These mutate the
     /// configuration *before* evaluation, so the evaluation itself stays a
     /// pure — and cacheable — function of the perturbed configuration.
-    pub fn apply_control(&self, m: &mut Marking, step: u64) {
+    ///
+    /// Returns whether the marking was mutated: the compiled backend's
+    /// incremental mirrors are built on the assumption that tokens only
+    /// move through transition firings, so any hit here must trigger a
+    /// conservative full resynchronisation.
+    pub fn apply_control(&self, m: &mut Marking, step: u64) -> bool {
+        let mut changed = false;
         for f in &self.faults {
             let FaultSite::Place(s) = f.site else {
                 continue;
@@ -244,11 +250,18 @@ impl FaultPlan {
                 continue;
             }
             match f.kind {
-                FaultKind::TokenLoss => m.remove(s),
-                FaultKind::TokenDup => m.add(s),
+                FaultKind::TokenLoss => {
+                    m.remove(s);
+                    changed = true;
+                }
+                FaultKind::TokenDup => {
+                    m.add(s);
+                    changed = true;
+                }
                 _ => {}
             }
         }
+        changed
     }
 
     /// Enumerate the one-fault-per-campaign sweep: every `kind` at every

@@ -25,6 +25,7 @@
 //! stores an exact snapshot of its configuration and a hit is only
 //! reported when the snapshot matches.
 
+use crate::compiled::Backend;
 use crate::engine::Simulator;
 use crate::env::{Environment, InputCursors, ScriptedEnv};
 use crate::error::SimError;
@@ -88,11 +89,15 @@ pub struct SimJob<'g, E: Environment = ScriptedEnv> {
     wall_budget: Option<Duration>,
     strict: bool,
     coverage: bool,
+    backend: Backend,
 }
 
 impl<'g, E: Environment> SimJob<'g, E> {
     /// A job over `g` and `env` with the deterministic
-    /// [`FiringPolicy::MaximalStep`] policy and a 10 000-step budget.
+    /// [`FiringPolicy::MaximalStep`] policy, a 10 000-step budget, and the
+    /// compiled backend (the fleet default — jobs over one design share its
+    /// compilation, and the differential battery holds the backends
+    /// bit-identical; see [`SimJob::backend`] to opt out).
     pub fn new(g: &'g Etpn, env: E) -> Self {
         Self {
             g,
@@ -106,12 +111,22 @@ impl<'g, E: Environment> SimJob<'g, E> {
             wall_budget: None,
             strict: false,
             coverage: false,
+            backend: Backend::Compiled,
         }
     }
 
     /// The design this job runs.
     pub fn design(&self) -> &'g Etpn {
         self.g
+    }
+
+    /// Select the step engine (default [`Backend::Compiled`]). Use
+    /// [`Backend::Interp`] for jobs that should share the fleet's
+    /// evaluation memo cache instead of the compiled engine's persistent
+    /// incremental values.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Select the firing policy (the seed lives inside the policy).
@@ -172,7 +187,9 @@ impl<'g, E: Environment> SimJob<'g, E> {
 
     /// Build the configured simulator, optionally wired to a memo cache.
     fn into_sim(self, cache: Option<&Arc<EvalCache>>) -> Simulator<'g, E> {
-        let mut sim = Simulator::new(self.g, self.env).with_policy(self.policy);
+        let mut sim = Simulator::new(self.g, self.env)
+            .with_backend(self.backend)
+            .with_policy(self.policy);
         if let Some(c) = cache {
             sim = sim.with_cache(Arc::clone(c));
         }
@@ -887,8 +904,14 @@ mod tests {
     #[test]
     fn identical_jobs_share_evaluations() {
         let g = add_once();
+        // Pinned to the interpreter: the memo cache is its sharing
+        // mechanism (the compiled backend bypasses it).
         let jobs: Vec<SimJob> = (0..8)
-            .map(|_| SimJob::new(&g, env_ab(3, 4)).max_steps(10))
+            .map(|_| {
+                SimJob::new(&g, env_ab(3, 4))
+                    .backend(Backend::Interp)
+                    .max_steps(10)
+            })
             .collect();
         let fleet = Fleet::new(2);
         let batch = fleet.run_batch(jobs);
@@ -907,10 +930,12 @@ mod tests {
     fn cached_run_equals_uncached_run() {
         let g = add_once();
         let cache = Arc::new(EvalCache::new());
-        // Warm the cache, then re-run and compare against the no-cache path.
-        SimJob::new(&g, env_ab(5, 6)).run(&cache).unwrap();
-        let warm = SimJob::new(&g, env_ab(5, 6)).run(&cache).unwrap();
-        let cold = SimJob::new(&g, env_ab(5, 6)).run_uncached().unwrap();
+        // Warm the cache, then re-run and compare against the no-cache path
+        // (interpreter jobs: the cache only serves that backend).
+        let job = || SimJob::new(&g, env_ab(5, 6)).backend(Backend::Interp);
+        job().run(&cache).unwrap();
+        let warm = job().run(&cache).unwrap();
+        let cold = job().run_uncached().unwrap();
         assert_eq!(format!("{warm:?}"), format!("{cold:?}"));
         assert!(cache.stats().hits > 0);
     }
@@ -929,7 +954,10 @@ mod tests {
         let g = add_once();
         let cache = Arc::new(EvalCache::with_capacity(SHARDS)); // 1 entry per shard
         for i in 0..50 {
-            SimJob::new(&g, env_ab(i, i)).run(&cache).unwrap();
+            SimJob::new(&g, env_ab(i, i))
+                .backend(Backend::Interp)
+                .run(&cache)
+                .unwrap();
         }
         let stats = cache.stats();
         assert!(stats.entries <= SHARDS as u64 * 2);

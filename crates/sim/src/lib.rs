@@ -12,6 +12,10 @@
 //!   updates once per control-state activation;
 //! * [`trace`] / [`extract`] — run records and extraction of the external
 //!   event structure `S(Γ)` (Def. 3.5);
+//! * [`compiled`] / [`dirty`] — the compile-once, simulate-many backend:
+//!   per-design flat dispatch tables plus an event-driven dirty set,
+//!   bit-identical to the interpreter (selected via
+//!   [`engine::Simulator::with_backend`]);
 //! * [`equiv`] — empirical semantic-equivalence comparison (Def. 4.1);
 //! * [`determinism`] — the policy-invariance battery justifying Def. 3.2;
 //! * [`fleet`] — work-stealing batch simulation over a shared, sharded
@@ -24,8 +28,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compiled;
 pub mod coverage;
 pub mod determinism;
+pub mod dirty;
 pub mod engine;
 pub mod env;
 pub mod equiv;
@@ -38,6 +44,7 @@ pub mod policy;
 pub mod trace;
 pub mod vcd;
 
+pub use compiled::{get_or_compile, Backend, CompiledDesign};
 pub use coverage::{coverage, coverage_excluding, CoverageReport};
 pub use determinism::{check_determinism, check_determinism_with, DeterminismReport};
 pub use engine::Simulator;

@@ -8,9 +8,9 @@
 //! both designs against many random environments, seeds, and firing
 //! policies and comparing external event structures. The whole battery is
 //! submitted as one `etpn-sim` [`Fleet`] batch: runs spread over worker
-//! threads and share the fleet's evaluation memo cache (the policy sweeps
-//! over each environment mostly revisit the same step configurations), and
-//! the counterexample reported is the first in environment order.
+//! threads on the fleet's default compiled step engine (each design is
+//! compiled once and shared by every policy/seed run over it), and the
+//! counterexample reported is the first in environment order.
 
 use crate::error::TransformResult;
 use etpn_analysis::DataDependence;

@@ -5,9 +5,14 @@
 //!   introduce genuine control concurrency;
 //! * [`random_net`] — random ETPN control skeletons built directly (serial
 //!   chains with nested fork/join diamonds over a register file), for
-//!   analysis benchmarks that need nets far larger than realistic programs.
+//!   analysis benchmarks that need nets far larger than realistic programs;
+//! * [`random_design`] — small full designs (data-path expression trees,
+//!   guarded branches, an input stream and an external output) for the
+//!   property-based backend cross-checks: shrinking-friendly in the sense
+//!   that `n_places`/`n_regs` bound the design directly, so a failing case
+//!   replays from three integers.
 
-use etpn_core::{ArcId, Etpn, EtpnBuilder, PlaceId};
+use etpn_core::{ArcId, Etpn, EtpnBuilder, Op, PlaceId, VertexId};
 use etpn_lang::Program;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -145,6 +150,144 @@ pub fn random_net(seed: u64, n_places: usize) -> Etpn {
     b.finish().expect("generated net is valid")
 }
 
+/// Generate a random small *full* design: expression trees over a register
+/// file and an input stream, fork/join diamonds, occasional guarded
+/// branches, and an external output — the workload of the backend
+/// property suite (`tests/properties.rs`).
+///
+/// `n_places` is clamped to `2..=64` and `n_regs` to `1..=16`, so a
+/// failing property case replays (and "shrinks") by re-running with the
+/// three integers from the report. The construction is canonical (flows
+/// grouped per transition at creation), which keeps the design stable
+/// under compile∘decompile replay.
+pub fn random_design(seed: u64, n_places: usize, n_regs: usize) -> Etpn {
+    let n_places = n_places.clamp(2, 64);
+    let n_regs = n_regs.clamp(1, 16);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = EtpnBuilder::new();
+    let k0 = b.constant(1, "k0");
+    let k1 = b.constant(rng.gen_range(2..10), "k1");
+    let x = b.input("x");
+    let y = b.output("y");
+    let regs: Vec<VertexId> = (0..n_regs).map(|i| b.register(&format!("r{i}"))).collect();
+    let comb_ops = [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Min,
+        Op::Max,
+    ];
+
+    // One state: a depth-≤2 expression tree over {consts, x, registers}
+    // loading one target register; returns the place. `vcount` names the
+    // operator vertices uniquely.
+    let mut vcount = 0usize;
+    let mut mk_state = |b: &mut EtpnBuilder, rng: &mut SmallRng, idx: usize, tgt: usize| {
+        let mut arcs: Vec<ArcId> = Vec::new();
+        let leaf = |b: &mut EtpnBuilder, rng: &mut SmallRng| match rng.gen_range(0..4u32) {
+            0 => b.out_port(k0, 0),
+            1 => b.out_port(k1, 0),
+            2 => b.out_port(x, 0),
+            _ => b.out_port(regs[rng.gen_range(0..n_regs)], 0),
+        };
+        let op = comb_ops[rng.gen_range(0..comb_ops.len())];
+        let v1 = b.operator(op, 2, &format!("e{vcount}"));
+        vcount += 1;
+        let (l0, l1) = (leaf(b, rng), leaf(b, rng));
+        arcs.push(b.connect(l0, b.in_port(v1, 0)));
+        arcs.push(b.connect(l1, b.in_port(v1, 1)));
+        let top = if rng.gen_bool(0.4) {
+            let op2 = comb_ops[rng.gen_range(0..comb_ops.len())];
+            let v2 = b.operator(op2, 2, &format!("e{vcount}"));
+            vcount += 1;
+            arcs.push(b.connect(b.out_port(v1, 0), b.in_port(v2, 0)));
+            let l2 = leaf(b, rng);
+            arcs.push(b.connect(l2, b.in_port(v2, 1)));
+            v2
+        } else {
+            v1
+        };
+        arcs.push(b.connect(b.out_port(top, 0), b.in_port(regs[tgt], 0)));
+        let s = b.place(&format!("s{idx}"));
+        b.control(s, arcs);
+        s
+    };
+
+    // Target registers round-robin on the state index, so the two
+    // branches of a diamond always load disjoint registers (concurrently
+    // open loads of one register would be an input conflict — a legal
+    // outcome, but one that ends every run at step 0 and tests nothing).
+    let first = mk_state(&mut b, &mut rng, 0, 0);
+    b.mark(first);
+    let mut current = first;
+    let mut made = 1usize;
+    let mut tcount = 0usize;
+    while made < n_places - 1 {
+        let remaining = (n_places - 1) - made;
+        if remaining >= 3 && n_regs >= 2 && rng.gen_bool(0.3) {
+            // Fork/join diamond with disjoint target registers.
+            let ra = made % n_regs;
+            let mut rb = (made + 1) % n_regs;
+            if rb == ra {
+                rb = (rb + 1) % n_regs;
+            }
+            let sa = mk_state(&mut b, &mut rng, made, ra);
+            let sb = mk_state(&mut b, &mut rng, made + 1, rb);
+            let sj = mk_state(&mut b, &mut rng, made + 2, (made + 2) % n_regs);
+            made += 3;
+            let tf = b.transition(&format!("t{tcount}"));
+            tcount += 1;
+            b.flow_st(current, tf);
+            b.flow_ts(tf, sa);
+            b.flow_ts(tf, sb);
+            let tj = b.transition(&format!("t{tcount}"));
+            tcount += 1;
+            b.flow_st(sa, tj);
+            b.flow_st(sb, tj);
+            b.flow_ts(tj, sj);
+            current = sj;
+        } else {
+            let s = mk_state(&mut b, &mut rng, made, made % n_regs);
+            made += 1;
+            let t = b.transition(&format!("t{tcount}"));
+            tcount += 1;
+            b.flow_st(current, t);
+            b.flow_ts(t, s);
+            if rng.gen_bool(0.25) {
+                // Guard the step on a comparison of the *input stream*
+                // against a constant: the stream advances every step, so a
+                // waiting state eventually unblocks (a register compared
+                // here would hold its value while the place waits and could
+                // block forever). The comparison arcs are controlled by the
+                // waiting place itself.
+                let cmp = b.operator(
+                    if rng.gen_bool(0.5) { Op::Ge } else { Op::Ne },
+                    2,
+                    &format!("g{tcount}"),
+                );
+                let a0 = b.connect(b.out_port(x, 0), b.in_port(cmp, 0));
+                let a1 = b.connect(b.out_port(k0, 0), b.in_port(cmp, 1));
+                b.control(current, [a0, a1]);
+                b.guard(t, b.out_port(cmp, 0));
+            }
+            current = s;
+        }
+    }
+    // Final state: emit a register to the external output.
+    let emit = b.connect(b.out_port(regs[0], 0), b.in_port(y, 0));
+    let s_out = b.place(&format!("s{made}"));
+    b.control(s_out, [emit]);
+    let t = b.transition(&format!("t{tcount}"));
+    b.flow_st(current, t);
+    b.flow_ts(t, s_out);
+    let t_end = b.transition("t_end");
+    b.flow_st(s_out, t_end);
+    b.finish().expect("generated design is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +331,32 @@ mod tests {
             .run(100)
             .unwrap();
         assert_eq!(trace.termination, etpn_sim::Termination::Terminated);
+    }
+
+    #[test]
+    fn random_design_is_deterministic_per_seed() {
+        let g1 = random_design(11, 20, 4);
+        let g2 = random_design(11, 20, 4);
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        let g3 = random_design(12, 20, 4);
+        assert_ne!(g1.fingerprint(), g3.fingerprint());
+    }
+
+    #[test]
+    fn random_design_runs_to_termination_on_both_sizes() {
+        for (seed, n, r) in [(1u64, 6, 2), (2, 24, 5), (3, 64, 16), (4, 2, 1)] {
+            let g = random_design(seed, n, r);
+            let env = etpn_sim::ScriptedEnv::new().with_stream("x", (0..500).collect::<Vec<_>>());
+            let trace = etpn_sim::Simulator::new(&g, env).run(500).unwrap();
+            assert_eq!(
+                trace.termination,
+                etpn_sim::Termination::Terminated,
+                "seed={seed} n={n} r={r}"
+            );
+            assert!(
+                !trace.events.is_empty(),
+                "seed={seed}: the output register emit must be observed"
+            );
+        }
     }
 }

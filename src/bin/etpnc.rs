@@ -28,6 +28,14 @@
 //! run options:
 //!   --set NAME=v1,v2,…                        (input stream, repeatable)
 //!   --steps N                                 (budget, default 100000)
+//!   --backend interp|compiled|compiled-nodirty
+//!                                             (step engine, default interp;
+//!                                              `compiled` runs the
+//!                                              event-driven compiled engine —
+//!                                              bit-identical, see
+//!                                              tests/backend_differential.rs —
+//!                                              and `compiled-nodirty` its
+//!                                              full-re-evaluation ablation)
 //!   --vcd FILE                                (dump register waveforms)
 //!   --cov                                     (collect functional coverage and
 //!                                              print the full report;
@@ -428,6 +436,7 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<ExitCode, String> {
     }
 
     let d = etpn::synth::compile_source(&src).map_err(|e| e.to_string())?;
+    let backend = parse_backend(args)?;
     let mut env = ScriptedEnv::new();
     for (name, values) in &streams {
         env = env.with_stream(name, values.iter().copied());
@@ -439,9 +448,9 @@ fn cmd_run(args: &[String], use_interpreter: bool) -> Result<ExitCode, String> {
         if flag_value(args, "--vcd").is_some() {
             return Err("--jobs batches don't capture waveforms; drop --vcd".into());
         }
-        return run_fleet_battery(args, &d, env, steps, workers);
+        return run_fleet_battery(args, &d, env, steps, workers, backend);
     }
-    let mut sim = Simulator::new(&d.etpn, env);
+    let mut sim = Simulator::new(&d.etpn, env).with_backend(backend);
     for (name, v) in &d.reg_inits {
         sim = sim.init_register(name, *v);
     }
@@ -503,6 +512,7 @@ fn run_fleet_battery(
     env: ScriptedEnv,
     steps: u64,
     workers: usize,
+    backend: etpn::sim::Backend,
 ) -> Result<ExitCode, String> {
     use etpn::sim::{compare_structures, event_structure, FiringPolicy, Fleet, SimJob};
 
@@ -520,6 +530,7 @@ fn run_fleet_battery(
         .iter()
         .map(|&policy| {
             let mut job = SimJob::new(&d.etpn, env.clone())
+                .backend(backend)
                 .with_policy(policy)
                 .max_steps(steps);
             for (name, v) in &d.reg_inits {
@@ -676,6 +687,20 @@ fn cmd_fault(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Parse `--backend`, defaulting to the interpreter reference engine.
+/// (`etpnc run` keeps the reference as its default; the fleet API defaults
+/// to the compiled engine, which the differential battery pins to it.)
+fn parse_backend(args: &[String]) -> Result<etpn::sim::Backend, String> {
+    match flag_values(args, "--backend").last().map(String::as_str) {
+        None | Some("interp") => Ok(etpn::sim::Backend::Interp),
+        Some("compiled") => Ok(etpn::sim::Backend::Compiled),
+        Some("compiled-nodirty") => Ok(etpn::sim::Backend::CompiledNoDirty),
+        Some(other) => Err(format!(
+            "--backend {other}: expected interp, compiled or compiled-nodirty"
+        )),
+    }
 }
 
 /// `--cov` requests functional coverage; `--coverage` is the historical

@@ -164,11 +164,11 @@ fn gcd_vcd_matches_golden_file() {
         .run(100_000)
         .unwrap();
     let vcd = vcd::render(&d.etpn, &trace).expect("waveform captured");
-    let golden = include_str!("golden/gcd.vcd");
+    let golden = include_str!("golden/vcd/gcd.vcd");
     assert_eq!(
         vcd, golden,
-        "VCD output drifted from tests/golden/gcd.vcd; if the change is \
+        "VCD output drifted from tests/golden/vcd/gcd.vcd; if the change is \
          intentional, regenerate with: etpnc run examples/gcd.hdl \
-         --set a=12 --set b=18 --vcd tests/golden/gcd.vcd"
+         --set a=12 --set b=18 --vcd tests/golden/vcd/gcd.vcd"
     );
 }

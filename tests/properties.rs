@@ -191,3 +191,107 @@ proptest! {
         prop_assert_eq!(&s1, &s2, "difference: {:?}", s1.first_difference(&s2));
     }
 }
+
+// Backend cross-checks: the compiled step engine against the interpreter
+// reference, on `random_design` (full designs: expression trees, guarded
+// branches, diamonds, an input stream and an external output). A failing
+// case replays from the printed integers alone.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The compiled backend produces a bit-identical run for any random
+    /// design, policy, and input stream: same external event structure,
+    /// same termination, same step and firing counts.
+    #[test]
+    fn compiled_backend_matches_interpreter(
+        seed in 0u64..10_000,
+        n_places in 2usize..48,
+        n_regs in 1usize..9,
+        policy_seed in 0u64..4,
+        xs in prop::collection::vec(-8i64..8, 1usize..48),
+    ) {
+        let g = etpn_workloads::random_design(seed, n_places, n_regs);
+        let policies = [
+            etpn_sim::FiringPolicy::MaximalStep,
+            etpn_sim::FiringPolicy::RandomMaximal { seed: policy_seed },
+            etpn_sim::FiringPolicy::SingleRandom { seed: policy_seed },
+        ];
+        for policy in policies {
+            let run = |backend| {
+                let env = ScriptedEnv::new().with_stream("x", xs.clone());
+                Simulator::new(&g, env)
+                    .with_backend(backend)
+                    .with_policy(policy)
+                    .run(300)
+            };
+            let interp = run(etpn_sim::Backend::Interp);
+            let compiled = run(etpn_sim::Backend::Compiled);
+            let nodirty = run(etpn_sim::Backend::CompiledNoDirty);
+            match (&interp, &compiled, &nodirty) {
+                (Ok(ti), Ok(tc), Ok(tn)) => {
+                    let si = etpn_sim::event_structure(&g, ti);
+                    let sc = etpn_sim::event_structure(&g, tc);
+                    let sn = etpn_sim::event_structure(&g, tn);
+                    prop_assert_eq!(&si, &sc, "policy {:?}: {:?}", policy, si.first_difference(&sc));
+                    prop_assert_eq!(&si, &sn, "no-dirty, policy {:?}: {:?}", policy, si.first_difference(&sn));
+                    prop_assert_eq!(ti.termination, tc.termination, "policy {:?}", policy);
+                    prop_assert_eq!(ti.termination, tn.termination, "policy {:?}", policy);
+                    prop_assert_eq!((ti.steps, ti.firings), (tc.steps, tc.firings), "policy {:?}", policy);
+                }
+                _ => {
+                    // Errors (if the generator ever produces one) must be
+                    // identical across all three engines.
+                    prop_assert_eq!(
+                        format!("{interp:?}"),
+                        format!("{compiled:?}"),
+                        "policy {:?}", policy
+                    );
+                    prop_assert_eq!(
+                        format!("{interp:?}"),
+                        format!("{nodirty:?}"),
+                        "policy {:?}", policy
+                    );
+                }
+            }
+        }
+    }
+
+    /// Dirty-set soundness: in verified mode the compiled engine
+    /// cross-checks every incremental step against a fresh full
+    /// re-evaluation and panics on any divergence — so completing the run
+    /// *is* the property.
+    #[test]
+    fn dirty_set_is_sound(
+        seed in 0u64..10_000,
+        n_places in 2usize..48,
+        n_regs in 1usize..9,
+        xs in prop::collection::vec(-8i64..8, 1usize..48),
+    ) {
+        let g = etpn_workloads::random_design(seed, n_places, n_regs);
+        let env = ScriptedEnv::new().with_stream("x", xs.clone());
+        let verified = Simulator::new(&g, env).compiled_verified().run(300);
+        let env = ScriptedEnv::new().with_stream("x", xs);
+        let interp = Simulator::new(&g, env).run(300);
+        prop_assert_eq!(format!("{verified:?}"), format!("{interp:?}"));
+    }
+
+    /// The compile table is a faithful image of the design: replaying it
+    /// through the builder (decompile) reproduces the exact fingerprint
+    /// that keys the global compile cache.
+    #[test]
+    fn compile_decompile_preserves_fingerprint(
+        seed in 0u64..10_000,
+        n_places in 2usize..48,
+        n_regs in 1usize..9,
+    ) {
+        let g = etpn_workloads::random_design(seed, n_places, n_regs);
+        let cd = etpn_sim::CompiledDesign::compile(&g);
+        let back = cd.decompile().expect("spec tables replay");
+        prop_assert_eq!(back.fingerprint(), g.fingerprint());
+
+        let net = etpn_workloads::random_net(seed, n_places.max(4));
+        let cd = etpn_sim::CompiledDesign::compile(&net);
+        let back = cd.decompile().expect("spec tables replay");
+        prop_assert_eq!(back.fingerprint(), net.fingerprint());
+    }
+}
